@@ -1,0 +1,23 @@
+"""Shared fixtures for the benchmark suite.
+
+Benchmarks default to the ``quick`` experiment scale so the whole
+suite finishes in minutes; set ``REPRO_SCALE=paper`` to regenerate
+figures at the full Section 5 protocol (hours).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import get_scale
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return get_scale()
+
+
+@pytest.fixture(scope="session")
+def bench_rng():
+    return np.random.default_rng(20140622)

@@ -1,0 +1,130 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Not figures from the paper — these probe the knobs the paper fixes:
+the Ripple threshold theta, the consistency step's contribution, the
+IPF-vs-dual max-entropy solver, and covering-design quality.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.consistency import make_consistent
+from repro.core.priview import PriView
+from repro.core.reconstruction import reconstruct
+from repro.core.reconstruction.constraints import extract_constraints
+from repro.core.reconstruction.maxent import maxent, maxent_dual
+from repro.covering.bounds import schonheim_bound
+from repro.covering.repository import best_design
+from repro.experiments.data import experiment_dataset
+from repro.marginals.queries import random_attribute_sets
+from repro.metrics.l2 import normalized_l2_error
+
+
+@pytest.fixture(scope="module")
+def kosarak(scale):
+    return experiment_dataset("kosarak", scale)
+
+
+@pytest.fixture(scope="module")
+def design():
+    return best_design(32, 8, 2)
+
+
+def _mean_error(synopsis, dataset, queries, method="maxent"):
+    n = dataset.num_records
+    return float(
+        np.mean(
+            [
+                normalized_l2_error(
+                    synopsis.marginal(q, method=method), dataset.marginal(q), n
+                )
+                for q in queries
+            ]
+        )
+    )
+
+
+class TestThetaAblation:
+    """The paper fixes theta to 'some small value'; sweep it."""
+
+    @pytest.mark.parametrize("theta", [0.1, 1.0, 10.0, 100.0])
+    def test_theta_insensitive_region(self, kosarak, design, theta, bench_rng):
+        queries = random_attribute_sets(32, 4, 5, bench_rng)
+        synopsis = PriView(
+            1.0, design=design, theta=theta, seed=2
+        ).fit(kosarak)
+        err = _mean_error(synopsis, kosarak, queries)
+        # any small theta performs within a small factor of theta=1
+        reference = PriView(1.0, design=design, theta=1.0, seed=2).fit(kosarak)
+        ref_err = _mean_error(reference, kosarak, queries)
+        assert err < 3 * ref_err
+
+
+class TestConsistencyAblation:
+    def test_consistency_reduces_error(self, kosarak, design, bench_rng):
+        """The Section 4.4 claim: redundancy exploitation helps."""
+        queries = random_attribute_sets(32, 4, 6, bench_rng)
+        errs = {}
+        for label, consistent in (("on", True), ("off", False)):
+            synopsis = PriView(
+                0.2,
+                design=design,
+                consistency=consistent,
+                nonnegativity="none",
+                seed=3,
+            ).fit(kosarak)
+            errs[label] = _mean_error(synopsis, kosarak, queries)
+        assert errs["on"] < errs["off"]
+
+    def test_bench_consistency_step(self, benchmark, kosarak, design):
+        mechanism = PriView(1.0, design=design, seed=0)
+        views = mechanism.generate_noisy_views(kosarak, design)
+        benchmark.pedantic(
+            lambda: make_consistent([v.copy() for v in views]),
+            rounds=3,
+            iterations=1,
+        )
+
+
+class TestSolverAblation:
+    def _setup(self, kosarak, design, bench_rng):
+        synopsis = PriView(1.0, design=design, seed=5).fit(kosarak)
+        attrs = next(
+            q
+            for q in random_attribute_sets(32, 6, 50, bench_rng)
+            if not design.covers(q)
+        )
+        constraints = extract_constraints(synopsis.views, attrs)
+        return constraints, attrs, synopsis.total_count()
+
+    def test_bench_ipf(self, benchmark, kosarak, design, bench_rng):
+        constraints, attrs, total = self._setup(kosarak, design, bench_rng)
+        benchmark(lambda: maxent(constraints, attrs, total))
+
+    def test_bench_dual(self, benchmark, kosarak, design, bench_rng):
+        constraints, attrs, total = self._setup(kosarak, design, bench_rng)
+        benchmark.pedantic(
+            lambda: maxent_dual(constraints, attrs, total),
+            rounds=2,
+            iterations=1,
+        )
+
+    def test_solvers_agree(self, kosarak, design, bench_rng):
+        constraints, attrs, total = self._setup(kosarak, design, bench_rng)
+        primal = maxent(constraints, attrs, total)
+        dual = maxent_dual(constraints, attrs, total)
+        assert np.allclose(primal.normalized(), dual.normalized(), atol=1e-3)
+
+
+class TestDesignQuality:
+    def test_bundled_designs_near_bounds(self):
+        """Report how far each experiment design is from the Schönheim
+        bound; the two algebraic ones are exactly optimal."""
+        gaps = {}
+        for d, l, t in [(32, 8, 2), (64, 8, 2), (45, 8, 2), (32, 8, 3)]:
+            design = best_design(d, l, t)
+            gaps[(d, l, t)] = design.num_blocks / schonheim_bound(d, l, t)
+        assert gaps[(32, 8, 2)] == 1.0
+        assert gaps[(64, 8, 2)] == 1.0
+        assert gaps[(45, 8, 2)] < 1.5
+        print("\nblocks / Schönheim bound:", gaps)

@@ -1,0 +1,48 @@
+"""Extension benchmark: the Section 4.7 categorical evaluation.
+
+The paper leaves evaluating the categorical extension to future work;
+this benchmark does it and asserts the Figure-2-style shape carries
+over to mixed-arity data.
+"""
+
+import pytest
+
+from repro.experiments import categorical_ext
+
+
+@pytest.fixture(scope="module")
+def result(scale):
+    return categorical_ext.run(scale=scale, epsilons=(1.0,), ks=(2, 3), seed=2)
+
+
+def test_categorical_regeneration(benchmark, scale):
+    outcome = benchmark.pedantic(
+        lambda: categorical_ext.run(
+            scale=scale, epsilons=(1.0,), ks=(2,), seed=2
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + outcome.render())
+
+
+def test_priview_beats_direct(result):
+    for k in (2, 3):
+        priview = result.row("CategoricalPriView", k, 1.0).headline()
+        direct = result.row("CategoricalDirect", k, 1.0).headline()
+        assert priview < direct
+
+
+def test_priview_beats_uniform(result):
+    for k in (2, 3):
+        priview = result.row("CategoricalPriView", k, 1.0).headline()
+        uniform = result.row("CategoricalUniform", k, 1.0).headline()
+        assert priview < uniform
+
+
+def test_direct_degrades_with_k(result):
+    """Direct's noise grows with C(d,k): k=3 must be worse than k=2."""
+    assert (
+        result.row("CategoricalDirect", 3, 1.0).headline()
+        > result.row("CategoricalDirect", 2, 1.0).headline()
+    )

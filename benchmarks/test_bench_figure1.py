@@ -1,0 +1,63 @@
+"""Benchmark regenerating Figure 1 (MSNBC, d=9, all approaches).
+
+Runs at the session's scale (quick by default; REPRO_SCALE=paper for
+the full protocol) and asserts the paper's headline orderings.
+"""
+
+import pytest
+
+from repro.experiments import figure1
+
+
+@pytest.fixture(scope="module")
+def result(scale):
+    ks = (2, 4) if scale.name == "quick" else figure1.KS
+    return figure1.run(scale=scale, ks=ks, epsilons=(1.0,), seed=7)
+
+
+def test_figure1_regeneration(benchmark, scale):
+    outcome = benchmark.pedantic(
+        lambda: figure1.run(
+            scale=scale, ks=(2,), epsilons=(1.0,), include_mwem=False, seed=7
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert outcome.rows
+    print("\n" + outcome.render())
+
+
+def test_figure1_shape_priview_matches_flat(result):
+    """Section 5.1: 'PriView performs as well as Flat' (same decade)."""
+    for k in (2, 4):
+        priview = result.row("PriView", k, 1.0).headline()
+        flat = result.row("Flat", k, 1.0).headline()
+        assert priview < 10 * flat
+
+
+def test_figure1_shape_flat_beats_direct_and_fourier(result):
+    for k in (2, 4):
+        flat = result.row("Flat", k, 1.0).headline()
+        assert flat < result.row("Direct", k, 1.0).headline()
+        assert flat < result.row("Fourier", k, 1.0).headline()
+
+
+def test_figure1_shape_learning_worst_even_noiseless(result):
+    """The paper's most interesting Figure 1 observation."""
+    for k in (4,):
+        noisefree = result.row("Learning-noisefree", k, 1.0).headline()
+        for better in ("PriView", "Flat", "Direct", "Fourier"):
+            assert result.row(better, k, 1.0).headline() < noisefree
+
+
+def test_figure1_shape_matrix_mechanism_between_flat_and_direct(result):
+    for k in (2, 4):
+        mm = result.row("MatrixMechanism", k, 1.0).headline()
+        assert mm < result.row("Direct", k, 1.0).headline()
+
+
+def test_figure1_shape_everything_beats_uniform(result):
+    for k in (2, 4):
+        uniform = result.row("Uniform", k, 1.0).headline()
+        for method in ("PriView", "Flat", "Direct", "Fourier", "DataCube"):
+            assert result.row(method, k, 1.0).headline() < uniform

@@ -1,0 +1,91 @@
+"""Benchmark regenerating Figure 2 (Kosarak & AOL, the headline result).
+
+The shape assertions encode the paper's claims: PriView improves on
+Direct and Fourier by orders of magnitude; Direct beats Uniform only
+at (Kosarak, eps=1, k=4); Flat is plotted analytically and capped.
+"""
+
+import pytest
+
+from repro.experiments import figure2
+
+
+@pytest.fixture(scope="module")
+def kosarak(scale):
+    return figure2.run(
+        scale=scale,
+        datasets=("kosarak",),
+        epsilons=(1.0,),
+        ks=(4, 8),
+        metrics=("normalized_l2", "jensen_shannon"),
+        seed=3,
+    )[0]
+
+
+def test_figure2_regeneration(benchmark, scale):
+    outcome = benchmark.pedantic(
+        lambda: figure2.run(
+            scale=scale,
+            datasets=("aol",),
+            epsilons=(1.0,),
+            ks=(6,),
+            metrics=("normalized_l2",),
+            seed=3,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + outcome[0].render())
+
+
+def test_figure2_priview_orders_of_magnitude_better(kosarak):
+    """The 2-3 orders of magnitude headline (>=1 at quick scale's
+    reduced N; the gap widens with the full 912k records)."""
+    for k in (4, 8):
+        direct = kosarak.row("Direct", k, 1.0, "normalized_l2").headline()
+        fourier = kosarak.row("Fourier", k, 1.0, "normalized_l2").headline()
+        priview = min(
+            r.headline()
+            for r in kosarak.rows
+            if r.method.startswith("PriView-") and r.k == k
+            and r.metric == "normalized_l2"
+        )
+        assert priview * 10 < direct
+        assert priview * 10 < fourier
+
+
+def test_figure2_js_divergence_agrees_with_l2(kosarak):
+    """Section 5: the two metrics tell the same story."""
+    for k in (4, 8):
+        priview_js = min(
+            r.headline()
+            for r in kosarak.rows
+            if r.method.startswith("PriView-") and r.k == k
+            and r.metric == "jensen_shannon"
+        )
+        direct_js = kosarak.row("Direct", k, 1.0, "jensen_shannon").headline()
+        assert priview_js < direct_js
+
+
+def test_figure2_flat_is_capped_expectation(kosarak):
+    flat = kosarak.row("Flat", 4, 1.0, "normalized_l2")
+    assert flat.candle is None
+    assert flat.expected <= 1.0
+
+
+def test_figure2_noise_free_lower_bound(kosarak):
+    """C_t^* (coverage error only) lower-bounds the noisy PriView."""
+    for k in (4, 8):
+        star = min(
+            r.headline()
+            for r in kosarak.rows
+            if r.method.startswith("PriView*") and r.k == k
+            and r.metric == "normalized_l2"
+        )
+        noisy = min(
+            r.headline()
+            for r in kosarak.rows
+            if r.method.startswith("PriView-") and r.k == k
+            and r.metric == "normalized_l2"
+        )
+        assert star <= noisy * 1.5

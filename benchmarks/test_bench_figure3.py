@@ -1,0 +1,51 @@
+"""Benchmark regenerating Figure 3 (reconstruction methods)."""
+
+import pytest
+
+from repro.experiments import figure3
+
+
+@pytest.fixture(scope="module")
+def kosarak(scale):
+    return figure3.run(scale=scale, datasets=("kosarak",), ks=(4, 6), seed=5)[0]
+
+
+def test_figure3_regeneration(benchmark, scale):
+    outcome = benchmark.pedantic(
+        lambda: figure3.run(
+            scale=scale, datasets=("kosarak",), ks=(4,),
+            variants=("CME", "CLN"), seed=5,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + outcome[0].render())
+
+
+def test_figure3_maxent_wins(kosarak):
+    """'It is clear from the results that the maximum entropy method
+    outperforms the alternatives.'"""
+    for k in (4, 6):
+        cme = kosarak.row("CME", k, 1.0).headline()
+        for other in ("LP", "CLP", "CLN"):
+            assert cme <= kosarak.row(other, k, 1.0).headline() * 1.1
+
+
+def test_figure3_lp_worst_and_clp_fixes_it(kosarak):
+    """LP without consistency is worst; adding the consistency
+    preprocessing step (CLP) reduces its error (aggregated over k —
+    individual k cells can tie within noise)."""
+    lp_total = sum(kosarak.row("LP", k, 1.0).headline() for k in (4, 6))
+    clp_total = sum(kosarak.row("CLP", k, 1.0).headline() for k in (4, 6))
+    assert clp_total < lp_total
+    for k in (4, 6):
+        lp = kosarak.row("LP", k, 1.0).headline()
+        for other in ("CME", "CLN"):
+            assert kosarak.row(other, k, 1.0).headline() < lp * 1.05
+
+
+def test_figure3_noise_free_floor(kosarak):
+    for k in (4, 6):
+        assert kosarak.row("CME*", k, 1.0).headline() < kosarak.row(
+            "CME", k, 1.0
+        ).headline()

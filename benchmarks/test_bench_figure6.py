@@ -1,0 +1,46 @@
+"""Benchmark regenerating Figure 6 (different covering designs)."""
+
+import pytest
+
+from repro.experiments import figure6
+
+
+@pytest.fixture(scope="module")
+def result(scale):
+    return figure6.run(
+        scale=scale,
+        epsilons=(1.0,),
+        ks=(4,),
+        design_params=((7, 2), (8, 2), (9, 2), (8, 3)),
+        seed=17,
+    )
+
+
+def test_figure6_regeneration(benchmark, scale):
+    outcome = benchmark.pedantic(
+        lambda: figure6.run(
+            scale=scale, epsilons=(1.0,), ks=(4,),
+            design_params=((8, 2),), seed=17,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + outcome.render())
+
+
+def test_figure6_similar_widths_perform_similarly(result):
+    """'Multiple covering designs with different l values perform
+    similarly' — within a small factor of each other."""
+    t2_means = [
+        r.candle.mean
+        for r in result.rows
+        if r.method.startswith("C_2") and r.k == 4
+    ]
+    assert max(t2_means) < 5 * min(t2_means)
+
+
+def test_figure6_prediction_reasonable(result):
+    """Equation 5 predicts the *noise* part; the measured error should
+    be within an order of magnitude of it at quick scale."""
+    for row in result.rows:
+        assert row.candle.mean < 100 * row.expected

@@ -1,0 +1,46 @@
+"""Benchmarks regenerating the paper's in-text tables.
+
+Each benchmark times the driver and asserts the reproduced numbers
+match the paper where they are closed-form.
+"""
+
+import pytest
+
+from repro.experiments import tables
+
+
+def test_crossover_table(benchmark):
+    """Section 3.2: Direct-beats-Flat dimensions."""
+    result = benchmark(tables.run_crossover)
+    assert {r.k: r.expected for r in result.rows} == {
+        2: 16, 3: 26, 4: 36, 5: 46,
+    }
+    print("\n" + result.render())
+
+
+def test_ell_table(benchmark):
+    """Section 4.5: the l-objective table (minimum near l=8)."""
+    result = benchmark(tables.run_ell_table)
+    pairs = {
+        r.k: r.expected for r in result.rows if r.method == "pairs-objective"
+    }
+    assert pairs[8] == pytest.approx(0.286, abs=2e-3)
+    print("\n" + result.render())
+
+
+def test_t_choice_table(benchmark):
+    """Section 4.5: Kosarak noise errors for t in {2,3,4}."""
+    result = benchmark(tables.run_t_choice)
+    errs = {r.k: r.expected for r in result.rows}
+    assert errs[2] == pytest.approx(0.00047, abs=5e-5)
+    assert errs[3] == pytest.approx(0.0011, abs=1e-4)
+    assert errs[4] == pytest.approx(0.0026, abs=2e-4)
+    print("\n" + result.render())
+
+
+def test_cells_table(benchmark):
+    """Section 4.7: cells-per-view guideline for categorical data."""
+    result = benchmark(tables.run_cells_table)
+    highs = [r.expected for r in result.rows if r.metric == "s_high"]
+    assert highs == sorted(highs)
+    print("\n" + result.render())

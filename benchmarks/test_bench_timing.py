@@ -1,0 +1,63 @@
+"""Benchmark regenerating the Section 4.6 timing table.
+
+The paper reports P (synopsis construction), Q6 and Q8 (single
+reconstruction) for Kosarak and AOL under their t=2 and t=3 designs.
+Absolute times differ from the 2013 testbed; the shape must hold:
+t=2 pipelines are much cheaper than t=3, Q8 much costlier than Q6.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.priview import PriView
+from repro.covering.repository import best_design
+from repro.experiments import timing
+from repro.experiments.data import experiment_dataset
+
+
+def test_timing_table(scale):
+    cases = (
+        timing.CASES
+        if scale.name == "paper"
+        else (("kosarak", 2), ("kosarak", 3))
+    )
+    rows = timing.run(scale=scale, cases=cases)
+    print("\n" + timing.render(rows))
+    by_design = {r.design: r for r in rows}
+    t2 = next(r for r in rows if r.design.startswith("C_2"))
+    t3 = next(r for r in rows if r.design.startswith("C_3"))
+    # the t=3 pipeline is substantially more expensive (paper: ~10x)
+    assert t3.synopsis_seconds > t2.synopsis_seconds
+    # an 8-way reconstruction costs more than a 6-way one
+    assert t3.q8_seconds > t3.q6_seconds
+
+
+def test_bench_synopsis_construction(benchmark, scale):
+    """P for Kosarak C_2(8,20) (the paper's 8.78s column)."""
+    dataset = experiment_dataset("kosarak", scale)
+    design = best_design(32, 8, 2)
+    benchmark.pedantic(
+        lambda: PriView(1.0, design=design, seed=0).fit(dataset),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_bench_q6_reconstruction(benchmark, scale):
+    """Q6 for Kosarak C_2(8,20) (the paper's 0.16s column)."""
+    dataset = experiment_dataset("kosarak", scale)
+    design = best_design(32, 8, 2)
+    synopsis = PriView(1.0, design=design, seed=0).fit(dataset)
+    rng = np.random.default_rng(0)
+    attrs = timing._uncovered_query(design, 32, 6, rng)
+    benchmark(lambda: synopsis.marginal(attrs))
+
+
+def test_bench_q8_reconstruction(benchmark, scale):
+    """Q8 for Kosarak C_2(8,20) (the paper's 2.79s column)."""
+    dataset = experiment_dataset("kosarak", scale)
+    design = best_design(32, 8, 2)
+    synopsis = PriView(1.0, design=design, seed=0).fit(dataset)
+    rng = np.random.default_rng(0)
+    attrs = timing._uncovered_query(design, 32, 8, rng)
+    benchmark(lambda: synopsis.marginal(attrs))

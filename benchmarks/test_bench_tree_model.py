@@ -1,0 +1,65 @@
+"""Ablation: global tree model vs per-query max entropy.
+
+Extension benchmark (not a paper figure): on Markov-chain data the
+Chow-Liu tree model fitted to the synopsis answers long-range
+marginals — attribute sets no view covers — better than per-query
+maximum entropy, because it propagates dependence through the chain.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.priview import PriView
+from repro.covering.repository import best_design
+from repro.datasets.mchain import markov_chain_dataset
+from repro.marginals.queries import random_attribute_sets
+from repro.models.tree_model import TreeModel
+
+
+@pytest.fixture(scope="module")
+def setting(scale):
+    rng = np.random.default_rng(1)
+    n = scale.max_records or 200_000
+    dataset = markov_chain_dataset(1, min(n, 200_000), length=32, rng=rng)
+    design = best_design(32, 8, 2)
+    synopsis = PriView(1.0, design=design, seed=1).fit(dataset)
+    return dataset, synopsis
+
+
+def test_bench_tree_model_fit(benchmark, setting):
+    _, synopsis = setting
+    benchmark.pedantic(
+        lambda: TreeModel.from_synopsis(synopsis), rounds=2, iterations=1
+    )
+
+
+def test_bench_tree_model_query(benchmark, setting):
+    dataset, synopsis = setting
+    model = TreeModel.from_synopsis(synopsis)
+    attrs = (0, 9, 18, 27)
+    benchmark(lambda: model.marginal(attrs))
+
+
+def test_tree_model_beats_maxent_on_uncovered_chain_queries(setting):
+    dataset, synopsis = setting
+    model = TreeModel.from_synopsis(synopsis)
+    rng = np.random.default_rng(5)
+    queries = [
+        q
+        for q in random_attribute_sets(32, 4, 60, rng)
+        if not synopsis.is_covered(q)
+    ][:10]
+    tree_errs, maxent_errs = [], []
+    for attrs in queries:
+        truth = dataset.marginal(attrs).normalized()
+        tree_errs.append(
+            np.abs(model.marginal(attrs).normalized() - truth).sum()
+        )
+        maxent_errs.append(
+            np.abs(synopsis.marginal(attrs).normalized() - truth).sum()
+        )
+    assert np.mean(tree_errs) <= np.mean(maxent_errs) + 0.02
+    print(
+        f"\ntree-model mean L1 {np.mean(tree_errs):.4f} vs "
+        f"maxent {np.mean(maxent_errs):.4f} over {len(queries)} queries"
+    )

@@ -1,0 +1,61 @@
+"""Scenario: releasing correlated sequence data (the MCHAIN study).
+
+Run:  python examples/correlated_sequences.py
+
+Reproduces the Section 5.5 investigation in miniature: how well does a
+pairs-only covering design capture higher-order correlation?  We
+generate Markov-chain datasets of increasing order over 64 binary
+positions, publish a PriView synopsis with the affine-plane design
+C_2(8,72) — constructed algebraically, exactly the design the paper
+used — and measure reconstruction error on consecutive windows, which
+maximally stress the chain dependencies.
+
+The paper's finding to look for in the output: order 3 is the worst
+case (4-way correlation, only pairs covered), while both lower and
+higher orders reconstruct more accurately.
+"""
+
+import numpy as np
+
+from repro import PriView
+from repro.covering import affine_plane_design
+from repro.datasets import markov_chain_dataset
+from repro.marginals.queries import consecutive_attribute_sets
+from repro.metrics import normalized_l2_error
+
+EPSILON = 1.0
+RECORDS = 100_000
+K = 6
+
+
+def main() -> None:
+    design = affine_plane_design(8)  # 64 points, 72 lines: C_2(8,72)
+    design.validate()
+    print(
+        f"design {design.notation}: the affine plane AG(2,8); every pair "
+        "of the 64 attributes lies on exactly one line"
+    )
+
+    print(f"\nk={K} consecutive-window error by Markov order:")
+    for order in range(1, 8):
+        rng = np.random.default_rng(100 + order)
+        dataset = markov_chain_dataset(order, RECORDS, rng=rng)
+        synopsis = PriView(EPSILON, design=design, seed=order).fit(dataset)
+        windows = consecutive_attribute_sets(64, K)[:: 64 // 8]  # spread out
+        errors = [
+            normalized_l2_error(
+                synopsis.marginal(w), dataset.marginal(w), RECORDS
+            )
+            for w in windows
+        ]
+        bar = "#" * int(np.mean(errors) * 4000)
+        print(f"  order {order}: mean L2/N = {np.mean(errors):.2e} {bar}")
+
+    print(
+        "\nExpected shape (cf. Figure 5): a bump at order 3, where four"
+        "\nattributes are strongly correlated but only pairs are covered."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Scenario: learning a graphical model privately from a synopsis.
+
+Run:  python examples/graphical_model.py
+
+The paper's Section 1 observes that practical distributions factor
+into low-dimensional terms — the reason marginal tables are sufficient
+statistics for graphical models.  This example closes the loop as an
+extension: fit a Chow-Liu tree to PriView's published synopsis (pure
+post-processing — zero extra privacy budget) and use the tree to
+
+* discover the dependency structure of the private data, and
+* answer long-range marginals that no view covers directly.
+
+The dataset is an order-1 Markov chain, whose true dependency graph
+is a path; watch the recovered structure match it.
+"""
+
+import numpy as np
+
+from repro import PriView
+from repro.covering.repository import best_design
+from repro.datasets import markov_chain_dataset
+from repro.models import TreeModel, chow_liu_tree
+
+EPSILON = 1.0
+D = 32
+
+
+def main() -> None:
+    rng = np.random.default_rng(8)
+    dataset = markov_chain_dataset(1, 150_000, length=D, rng=rng)
+    design = best_design(D, 8, 2)
+    synopsis = PriView(EPSILON, design=design, seed=4).fit(dataset)
+    print(f"synopsis: {synopsis}")
+
+    tree = chow_liu_tree(synopsis)
+    chain_edges = sum(
+        1 for u, v in tree.edges if abs(u - v) == 1
+    )
+    print(
+        f"\nChow-Liu structure: {chain_edges}/{D - 1} recovered edges are "
+        "chain-adjacent (truth: the data is an order-1 chain)"
+    )
+
+    model = TreeModel.from_synopsis(synopsis, tree=tree)
+    from repro.marginals.queries import random_attribute_sets
+
+    uncovered = [
+        q
+        for q in random_attribute_sets(D, 4, 200, rng)
+        if not synopsis.is_covered(q)
+    ][:6]
+    print("\n4-way marginals not covered by any single view:")
+    for attrs in uncovered:
+        truth = dataset.marginal(attrs).normalized()
+        tree_err = np.abs(model.marginal(attrs).normalized() - truth).sum()
+        maxent_err = np.abs(
+            synopsis.marginal(attrs).normalized() - truth
+        ).sum()
+        print(
+            f"  {attrs}: tree-model L1 = {tree_err:.4f}, "
+            f"per-query maxent L1 = {maxent_err:.4f}"
+        )
+    print(
+        "\nThe tree model propagates dependence through the chain, so it"
+        "\nbeats per-query max entropy wherever the query spans views."
+    )
+
+
+if __name__ == "__main__":
+    main()

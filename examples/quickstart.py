@@ -1,0 +1,66 @@
+"""Quickstart: publish a private synopsis, query any k-way marginal.
+
+Run:  python examples/quickstart.py
+
+Walks the full PriView pipeline on a synthetic 32-attribute
+click-stream dataset: automatic view selection, noisy view release,
+consistency + Ripple post-processing, and max-entropy reconstruction —
+then compares the private answers against the truth.
+"""
+
+import numpy as np
+
+from repro import PriView
+from repro.datasets import kosarak_like
+from repro.metrics import jensen_shannon, normalized_l2_error
+
+EPSILON = 1.0
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    dataset = kosarak_like(num_records=100_000, rng=rng)
+    print(f"dataset: {dataset}")
+
+    # --- the only privacy-consuming step -----------------------------
+    mechanism = PriView(epsilon=EPSILON, seed=42)
+    synopsis = mechanism.fit(dataset)
+    print(f"published synopsis: {synopsis}")
+    print(
+        f"  {synopsis.num_views} views of "
+        f"{synopsis.design.block_size} attributes each "
+        f"({synopsis.design.notation}), epsilon = {EPSILON}"
+    )
+
+    # --- query marginals of any arity, no further privacy cost -------
+    for attrs in [(0, 5), (1, 9, 17, 30), (2, 6, 11, 19, 23, 28)]:
+        private = synopsis.marginal(attrs)
+        truth = dataset.marginal(attrs)
+        l2 = normalized_l2_error(private, truth, dataset.num_records)
+        js = jensen_shannon(private, truth)
+        covered = "covered" if synopsis.is_covered(attrs) else "reconstructed"
+        print(
+            f"  {len(attrs)}-way marginal {attrs}: "
+            f"L2/N = {l2:.2e}, JS = {js:.2e} ({covered})"
+        )
+
+    # --- the headline comparison: the Direct method ------------------
+    from repro.baselines import DirectMethod
+
+    attrs = (1, 9, 17, 30)
+    direct = DirectMethod(EPSILON, k=4, seed=42).fit(dataset)
+    d_err = normalized_l2_error(
+        direct.marginal(attrs), dataset.marginal(attrs), dataset.num_records
+    )
+    p_err = normalized_l2_error(
+        synopsis.marginal(attrs), dataset.marginal(attrs), dataset.num_records
+    )
+    print(
+        f"\n4-way marginal {attrs}: PriView L2/N = {p_err:.2e}, "
+        f"Direct L2/N = {d_err:.2e} "
+        f"({d_err / max(p_err, 1e-12):.0f}x worse)"
+    )
+
+
+if __name__ == "__main__":
+    main()

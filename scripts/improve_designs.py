@@ -1,0 +1,63 @@
+"""Second-pass design improvement: seeded shrink search.
+
+Run after ``generate_designs.py``; loads each bundled design and tries
+to shave blocks off with :func:`repro.covering.local_search.
+shrink_design` under a per-target time budget, overwriting the bundled
+file whenever the search improves it.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+import numpy as np
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro.covering.bounds import schonheim_bound
+from repro.covering.local_search import shrink_design
+from repro.covering.repository import load_bundled_design, save_design
+
+DATA_DIR = pathlib.Path(__file__).resolve().parents[1] / "src/repro/covering/data"
+
+#: (d, l, t, time budget seconds)
+TARGETS = [
+    (45, 8, 2, 120),
+    (32, 8, 3, 420),
+    (32, 10, 3, 240),
+    (45, 8, 3, 600),
+    (32, 8, 4, 420),
+    (32, 5, 2, 60),
+    (32, 6, 2, 60),
+    (32, 7, 2, 60),
+    (32, 9, 2, 60),
+    (32, 10, 2, 60),
+    (32, 11, 2, 60),
+    (32, 12, 2, 60),
+]
+
+PAPER_W = {(32, 8, 3): 106, (45, 8, 2): 42, (45, 8, 3): 326, (32, 8, 4): 620}
+
+
+def main() -> None:
+    rng = np.random.default_rng(1995)  # Gordon-Kuperberg-Patashnik year
+    for d, l, t, budget in TARGETS:
+        design = load_bundled_design(d, l, t)
+        if design is None:
+            print(f"d={d} l={l} t={t}: no bundled design, skipping")
+            continue
+        before = design.num_blocks
+        improved = shrink_design(design, rng=rng, time_budget=budget)
+        improved.validate()
+        note = f" (paper {PAPER_W[(d, l, t)]})" if (d, l, t) in PAPER_W else ""
+        print(
+            f"d={d} l={l} t={t}: w {before} -> {improved.num_blocks} "
+            f"(bound {schonheim_bound(d, l, t)}{note})"
+        )
+        if improved.num_blocks < before:
+            save_design(improved, DATA_DIR)
+
+
+if __name__ == "__main__":
+    main()

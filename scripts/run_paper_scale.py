@@ -1,0 +1,44 @@
+"""Regenerate every experiment at the full Section 5 protocol.
+
+Run from the repository root (expect several hours):
+
+    python scripts/run_paper_scale.py [--scale medium] [results_dir]
+
+Writes one text report per experiment under ``results/`` (or the given
+directory), each containing the rendered table and the ASCII chart.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("results_dir", nargs="?", default="results")
+    parser.add_argument("--scale", default="paper")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    out_dir = pathlib.Path(args.results_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for experiment_id in sorted(EXPERIMENTS):
+        start = time.time()
+        print(f"running {experiment_id} at scale={args.scale} ...", flush=True)
+        report = run_experiment(
+            experiment_id, scale=args.scale, seed=args.seed, chart=True
+        )
+        path = out_dir / f"{experiment_id}.txt"
+        path.write_text(report + "\n")
+        print(f"  wrote {path} ({time.time() - start:.0f}s)", flush=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,14 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e .`` requires ``bdist_wheel`` under PEP 517; in a fully
+offline environment without the wheel package, use::
+
+    python setup.py develop
+
+which performs the same editable install.  All project metadata lives
+in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

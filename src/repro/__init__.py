@@ -1,0 +1,54 @@
+"""repro — a full reproduction of PriView (SIGMOD 2014).
+
+PriView publishes a differentially private synopsis of a
+high-dimensional binary dataset from which any k-way marginal
+contingency table can be reconstructed accurately.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import BinaryDataset, PriView
+>>> data = (np.random.default_rng(0).random((5000, 16)) < 0.3)
+>>> dataset = BinaryDataset(data.astype(np.uint8))
+>>> synopsis = PriView(epsilon=1.0, seed=1).fit(dataset)
+>>> table = synopsis.marginal((0, 3, 7, 11))  # private 4-way marginal
+
+Package map
+-----------
+``repro.core``
+    PriView itself: view selection, consistency, Ripple
+    non-negativity, max-entropy reconstruction.
+``repro.marginals``
+    Datasets, marginal tables, projections.
+``repro.mechanisms``
+    Laplace / exponential mechanisms, budget accounting.
+``repro.covering``
+    Covering-design construction (the view-selection substrate).
+``repro.baselines``
+    Flat, Direct, Fourier(+LP), MWEM, matrix mechanism, learning-based,
+    data cubes, uniform — everything the paper compares against.
+``repro.datasets``
+    MCHAIN and clickstream-style dataset generators / loaders.
+``repro.metrics`` / ``repro.analysis``
+    Error measures and the paper's closed-form error analysis.
+``repro.experiments``
+    Drivers reproducing every table and figure of the evaluation.
+"""
+
+from repro.core import PriView, PriViewSynopsis
+from repro.covering import CoveringDesign
+from repro.marginals import BinaryDataset, FullContingencyTable, MarginalTable
+from repro.mechanisms import PrivacyBudget
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PriView",
+    "PriViewSynopsis",
+    "CoveringDesign",
+    "BinaryDataset",
+    "FullContingencyTable",
+    "MarginalTable",
+    "PrivacyBudget",
+    "__version__",
+]

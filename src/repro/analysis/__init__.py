@@ -1,0 +1,33 @@
+"""Closed-form error analysis reproducing the paper's in-text tables."""
+
+from repro.analysis.ese import (
+    direct_ese,
+    flat_ese,
+    fourier_ese,
+    priview_views_ese,
+    unit_variance,
+)
+from repro.analysis.crossover import (
+    crossover_table,
+    direct_beats_flat_threshold,
+)
+from repro.analysis.ell_selection import (
+    cells_per_view_table,
+    ell_objective_pairs,
+    ell_objective_triples,
+    ell_table,
+)
+
+__all__ = [
+    "direct_ese",
+    "flat_ese",
+    "fourier_ese",
+    "priview_views_ese",
+    "unit_variance",
+    "crossover_table",
+    "direct_beats_flat_threshold",
+    "cells_per_view_table",
+    "ell_objective_pairs",
+    "ell_objective_triples",
+    "ell_table",
+]

@@ -1,0 +1,28 @@
+"""Direct-vs-Flat crossover (the Section 3.2 in-text table).
+
+Flat's ESE is ``2**d V_u``; Direct's is ``2**k C(d,k)**2 V_u``.  For
+each ``k`` there is a smallest ``d`` beyond which Direct wins; the
+paper tabulates d >= 16, 26, 36, 46 for k = 2..5.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.ese import direct_ese, flat_ese
+from repro.exceptions import DimensionError
+
+
+def direct_beats_flat_threshold(k: int, max_dimensions: int = 512) -> int:
+    """Smallest ``d`` with Direct's ESE below Flat's, for arity ``k``."""
+    if k < 1:
+        raise DimensionError(f"k must be >= 1, got {k}")
+    for d in range(k + 1, max_dimensions + 1):
+        if direct_ese(d, k) < flat_ese(d):
+            return d
+    raise DimensionError(
+        f"no crossover found for k={k} up to d={max_dimensions}"
+    )
+
+
+def crossover_table(ks=(2, 3, 4, 5)) -> dict[int, int]:
+    """The paper's table: k -> smallest d where Direct beats Flat."""
+    return {k: direct_beats_flat_threshold(k) for k in ks}

@@ -1,0 +1,68 @@
+"""The view-width objective tables (paper Sections 4.5 and 4.7).
+
+Choosing the view width ``l`` to minimise the pair-reconstruction
+noise error reduces (Section 4.5) to minimising
+``2**(l/2) / (l (l-1))``; for triples, ``2**(l/2) / (l (l-1) (l-2))``.
+The paper tabulates both for l = 5..12 and concludes l = 8 is a good
+universal choice.  Section 4.7 generalises to b-valued categorical
+attributes via the cells-per-view count ``s``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import DimensionError
+
+
+def ell_objective_pairs(block_size: int) -> float:
+    """``2**(l/2) / (l (l-1))`` — noise-error objective for pairs."""
+    if block_size < 2:
+        raise DimensionError(f"need l >= 2, got {block_size}")
+    return 2.0 ** (block_size / 2.0) / (block_size * (block_size - 1))
+
+
+def ell_objective_triples(block_size: int) -> float:
+    """``2**(l/2) / (l (l-1) (l-2))`` — the triples analogue."""
+    if block_size < 3:
+        raise DimensionError(f"need l >= 3, got {block_size}")
+    return 2.0 ** (block_size / 2.0) / (
+        block_size * (block_size - 1) * (block_size - 2)
+    )
+
+
+def ell_table(ells=range(5, 13)) -> dict[int, tuple[float, float]]:
+    """The Section 4.5 table: l -> (pair objective, triple objective)."""
+    return {l: (ell_objective_pairs(l), ell_objective_triples(l)) for l in ells}
+
+
+def _cells_objective_pairs(cells: int, base: int) -> float:
+    attrs = math.log(cells, base)
+    return math.sqrt(cells) / (attrs * (attrs - 1))
+
+
+def recommended_cells_per_view(
+    base: int, tolerance: float = 1.35
+) -> tuple[int, int]:
+    """A (low, high) range of per-view cell counts for b-valued data.
+
+    Scans a geometric grid of cell counts and returns the range whose
+    Section 4.7 objective ``sqrt(s) / (log_b s (log_b s - 1))`` stays
+    within ``tolerance`` of the minimum — reproducing the shape of the
+    paper's s-recommendation table (the band grows with b; the paper's
+    own bands, e.g. 100-1000 for b=2, correspond to a ~1.35x slack).
+    """
+    if base < 2:
+        raise DimensionError(f"attribute arity must be >= 2, got {base}")
+    grid = [int(round(base**2 * 1.1**j)) for j in range(1, 120)]
+    scored = [
+        (s, _cells_objective_pairs(s, base)) for s in grid if s > base**2
+    ]
+    best = min(score for _, score in scored)
+    good = [s for s, score in scored if score <= tolerance * best]
+    return (min(good), max(good))
+
+
+def cells_per_view_table(bases=(2, 3, 4, 5)) -> dict[int, tuple[int, int]]:
+    """The Section 4.7 table: b -> recommended cells-per-view range."""
+    return {b: recommended_cells_per_view(b) for b in bases}

@@ -1,0 +1,45 @@
+"""Expected-squared-error formulas (paper Equations 2-5).
+
+All values are expressed in multiples of the unit variance
+``V_u = 2 / eps**2`` (Equation 2) unless an epsilon is supplied.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def unit_variance(epsilon: float = 1.0) -> float:
+    """Equation 2: ``V_u = 2 / eps**2``."""
+    return 2.0 / (epsilon * epsilon)
+
+
+def flat_ese(num_attributes: int, epsilon: float = 1.0) -> float:
+    """Equation 3: Flat's per-marginal ESE is ``2**d * V_u``."""
+    return (2.0**num_attributes) * unit_variance(epsilon)
+
+
+def direct_ese(num_attributes: int, k: int, epsilon: float = 1.0) -> float:
+    """Equation 4: Direct's per-marginal ESE, ``2**k * C(d,k)**2 * V_u``."""
+    m = math.comb(num_attributes, k)
+    return (2.0**k) * (m * m) * unit_variance(epsilon)
+
+
+def fourier_ese(num_attributes: int, k: int, epsilon: float = 1.0) -> float:
+    """Fourier's per-marginal ESE: ``m**2 * V_u`` with all weight-<=k
+    coefficients released — a factor 2**k below Direct (Section 3.3)."""
+    m = sum(math.comb(num_attributes, j) for j in range(k + 1))
+    return float(m * m) * unit_variance(epsilon)
+
+
+def priview_views_ese(
+    block_size: int, num_blocks: int, epsilon: float = 1.0
+) -> float:
+    """ESE of a single k-way marginal read off one noisy view:
+    ``2**l * w**2 * V_u`` (the Section 4.1 middle-ground argument).
+
+    Averaging over overlapping views reduces this further; Equation 5
+    (implemented as :func:`repro.core.view_selection.priview_noise_error`)
+    accounts for the expected multiplicity.
+    """
+    return (2.0**block_size) * (num_blocks**2) * unit_variance(epsilon)

@@ -1,0 +1,52 @@
+"""The common mechanism protocol shared by all baselines and PriView."""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.exceptions import PrivacyBudgetError, ReconstructionError
+from repro.marginals.dataset import BinaryDataset
+from repro.marginals.table import MarginalTable
+
+
+class MarginalReleaseMechanism(abc.ABC):
+    """A differentially private marginal-release mechanism.
+
+    Subclasses set :attr:`name` and implement :meth:`_fit` and
+    :meth:`_marginal`.  ``epsilon = inf`` is allowed everywhere and
+    means "no noise" (used for the paper's approximation-error-only
+    variants).
+    """
+
+    name: str = "mechanism"
+
+    def __init__(self, epsilon: float, seed: int | None = None):
+        if epsilon <= 0:
+            raise PrivacyBudgetError(f"epsilon must be positive, got {epsilon}")
+        self.epsilon = float(epsilon)
+        self._rng = np.random.default_rng(seed)
+        self._fitted = False
+
+    def fit(self, dataset: BinaryDataset) -> "MarginalReleaseMechanism":
+        """Consume the private dataset; returns self for chaining."""
+        self._num_attributes = dataset.num_attributes
+        self._num_records = dataset.num_records
+        self._fit(dataset)
+        self._fitted = True
+        return self
+
+    def marginal(self, attrs) -> MarginalTable:
+        """The mechanism's answer for the marginal over ``attrs``."""
+        if not self._fitted:
+            raise ReconstructionError(f"{self.name}: call fit() before marginal()")
+        return self._marginal(tuple(sorted(int(a) for a in attrs)))
+
+    @abc.abstractmethod
+    def _fit(self, dataset: BinaryDataset) -> None:
+        """Mechanism-specific fitting."""
+
+    @abc.abstractmethod
+    def _marginal(self, attrs: tuple[int, ...]) -> MarginalTable:
+        """Mechanism-specific marginal reconstruction."""

@@ -1,0 +1,33 @@
+"""The Uniform baseline (Section 5, Evaluation Methodology).
+
+Always answers with the uniform marginal scaled to a (noisy) total
+count.  A method that does not beat Uniform carries no information
+about the data — the paper plots it as the floor of meaningfulness.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import MarginalReleaseMechanism
+from repro.marginals.dataset import BinaryDataset
+from repro.marginals.table import MarginalTable
+from repro.mechanisms.laplace import noisy_counts
+
+
+class UniformMethod(MarginalReleaseMechanism):
+    """Returns uniformly distributed marginals with the dataset's total."""
+
+    name = "Uniform"
+
+    def _fit(self, dataset: BinaryDataset) -> None:
+        import numpy as np
+
+        # Spend the budget on the one number we use: the total count.
+        self._total = float(
+            noisy_counts(
+                np.array([float(dataset.num_records)]), self.epsilon, 1.0, self._rng
+            )[0]
+        )
+        self._total = max(self._total, 0.0)
+
+    def _marginal(self, attrs: tuple[int, ...]) -> MarginalTable:
+        return MarginalTable.uniform(attrs, self._total)

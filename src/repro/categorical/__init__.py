@@ -1,0 +1,32 @@
+"""Categorical-attribute extension of PriView (paper Section 4.7).
+
+The main library handles binary datasets, following the paper's main
+sections.  Section 4.7 sketches the extension to attributes with
+``b >= 2`` values each; this subpackage implements it:
+
+* mixed-radix cell indexing replaces the binary bit convention
+  (:mod:`repro.categorical.indexing`);
+* :class:`~repro.categorical.table.CategoricalMarginalTable` supports
+  the same projection / consistency-update operations, so the *binary*
+  consistency procedure of Section 4.4 applies verbatim;
+* Ripple's neighbourhood becomes "change one attribute to another
+  value" (:mod:`repro.categorical.nonnegativity`);
+* view selection bounds the *cell count* per view using the
+  Section 4.7 ``s`` guideline instead of the attribute count
+  (:mod:`repro.categorical.views`);
+* maximum-entropy reconstruction runs the same IPF, over mixed-radix
+  projections (:mod:`repro.categorical.reconstruction`).
+"""
+
+from repro.categorical.dataset import CategoricalDataset
+from repro.categorical.table import CategoricalMarginalTable
+from repro.categorical.priview import CategoricalPriView, CategoricalSynopsis
+from repro.categorical.views import select_categorical_views
+
+__all__ = [
+    "CategoricalDataset",
+    "CategoricalMarginalTable",
+    "CategoricalPriView",
+    "CategoricalSynopsis",
+    "select_categorical_views",
+]

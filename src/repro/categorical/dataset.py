@@ -1,0 +1,88 @@
+"""Datasets with categorical (multi-valued) attributes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.categorical.indexing import strides, table_size
+from repro.categorical.table import CategoricalMarginalTable
+from repro.exceptions import DimensionError
+
+
+class CategoricalDataset:
+    """An ``N x d`` dataset; attribute ``j`` takes values in
+    ``range(arities[j])``."""
+
+    def __init__(self, data, arities, name: str = "categorical"):
+        arr = np.asarray(data, dtype=np.int64)
+        if arr.ndim != 2:
+            raise DimensionError(f"data must be 2-D, got shape {arr.shape}")
+        self.arities = tuple(int(b) for b in arities)
+        if arr.shape[1] != len(self.arities):
+            raise DimensionError(
+                f"data has {arr.shape[1]} columns but {len(self.arities)} "
+                "arities were given"
+            )
+        if any(b < 2 for b in self.arities):
+            raise DimensionError(f"arities must be >= 2, got {self.arities}")
+        for j, b in enumerate(self.arities):
+            column = arr[:, j]
+            if column.size and (column.min() < 0 or column.max() >= b):
+                raise DimensionError(
+                    f"column {j} has values outside range({b})"
+                )
+        self._data = arr
+        self.name = name
+
+    @classmethod
+    def random(
+        cls,
+        num_records: int,
+        arities,
+        rng: np.random.Generator | None = None,
+        name: str = "random",
+    ) -> "CategoricalDataset":
+        """IID uniform categorical data, mainly for tests."""
+        rng = rng or np.random.default_rng()
+        arities = tuple(int(b) for b in arities)
+        columns = [
+            rng.integers(0, b, size=num_records) for b in arities
+        ]
+        return cls(np.stack(columns, axis=1), arities, name=name)
+
+    # ------------------------------------------------------------------
+    @property
+    def data(self) -> np.ndarray:
+        view = self._data.view()
+        view.setflags(write=False)
+        return view
+
+    @property
+    def num_records(self) -> int:
+        return self._data.shape[0]
+
+    @property
+    def num_attributes(self) -> int:
+        return self._data.shape[1]
+
+    def __repr__(self) -> str:
+        return (
+            f"CategoricalDataset(name={self.name!r}, N={self.num_records}, "
+            f"arities={self.arities})"
+        )
+
+    # ------------------------------------------------------------------
+    def marginal(self, attrs) -> CategoricalMarginalTable:
+        """Exact (non-private) marginal over ``attrs``."""
+        attrs = tuple(sorted(int(a) for a in attrs))
+        if attrs and attrs[-1] >= self.num_attributes:
+            raise DimensionError(
+                f"attribute {attrs[-1]} out of range (d={self.num_attributes})"
+            )
+        sub_arities = tuple(self.arities[a] for a in attrs)
+        weights = np.array(strides(sub_arities), dtype=np.int64)
+        idx = self._data[:, list(attrs)] @ weights
+        counts = np.bincount(idx, minlength=table_size(sub_arities))
+        return CategoricalMarginalTable(
+            attrs, sub_arities, counts.astype(np.float64)
+        )

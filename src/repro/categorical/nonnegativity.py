@@ -1,0 +1,46 @@
+"""Ripple non-negativity for categorical tables (Section 4.7).
+
+"The only change is in the Ripple Non-negativity step, neighbouring
+cells are obtained by changing only one value (as opposed to flipping
+one value)."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.categorical.indexing import categorical_neighbours
+from repro.categorical.table import CategoricalMarginalTable
+from repro.core.nonnegativity import DEFAULT_THETA, MAX_RIPPLE_PASSES
+from repro.exceptions import ReconstructionError
+
+
+def categorical_ripple(
+    table: CategoricalMarginalTable, theta: float = DEFAULT_THETA
+) -> int:
+    """Ripple with change-one-value neighbourhoods; returns pass count."""
+    if theta <= 0:
+        raise ReconstructionError(
+            f"theta must be positive for Ripple to terminate, got {theta}"
+        )
+    if table.arity == 0:
+        return 0
+    if table.counts.sum() <= 0:
+        table.counts[:] = 0.0
+        return 0
+    neighbours = categorical_neighbours(table.arities)
+    degree = neighbours.shape[1]
+    counts = table.counts
+    passes = 0
+    while passes < MAX_RIPPLE_PASSES:
+        negative = np.flatnonzero(counts < -theta)
+        if negative.size == 0:
+            return passes
+        passes += 1
+        removed = counts[negative].copy()
+        counts[negative] = 0.0
+        share = np.repeat(removed / degree, degree)
+        np.add.at(counts, neighbours[negative].ravel(), share)
+    raise ReconstructionError(
+        f"categorical Ripple did not settle within {MAX_RIPPLE_PASSES} passes"
+    )

@@ -1,0 +1,98 @@
+"""View selection for categorical data (Section 4.7).
+
+The binary rule "l = 8 attributes per view" becomes a bound on the
+*cell count* ``s`` of each view (the paper recommends, e.g.,
+100-1000 cells for binary, up to ~5000 for 5-valued attributes), with
+t = 2 coverage: every pair of attributes must share a view.  The paper
+suggests "simple greedy algorithms can also be developed" for this
+mixed-arity covering problem; :func:`select_categorical_views`
+implements one.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.analysis.ell_selection import recommended_cells_per_view
+from repro.exceptions import DesignError
+
+
+def _cells(arities, members) -> int:
+    return math.prod(arities[a] for a in members)
+
+
+def select_categorical_views(
+    arities,
+    max_cells: int | None = None,
+    rng: np.random.Generator | None = None,
+) -> list[tuple[int, ...]]:
+    """Greedy pair-covering views under a per-view cell budget.
+
+    Parameters
+    ----------
+    arities:
+        Per-attribute value counts.
+    max_cells:
+        Cell budget per view; defaults to the Section 4.7 guideline for
+        the dataset's mean arity.
+
+    Returns
+    -------
+    list of sorted attribute tuples covering every attribute pair,
+    each view's cell count within the budget.
+    """
+    arities = tuple(int(b) for b in arities)
+    d = len(arities)
+    if d == 0:
+        raise DesignError("need at least one attribute")
+    if any(b < 2 for b in arities):
+        raise DesignError(f"arities must be >= 2, got {arities}")
+    if max_cells is None:
+        mean_arity = max(2, round(sum(arities) / d))
+        _, max_cells = recommended_cells_per_view(min(mean_arity, 5))
+    if max_cells < max(arities) * max(arities):
+        raise DesignError(
+            f"cell budget {max_cells} cannot hold the largest attribute pair"
+        )
+    rng = rng or np.random.default_rng(0)
+
+    uncovered = {(i, j) for i in range(d) for j in range(i + 1, d)}
+    views: list[tuple[int, ...]] = []
+    while uncovered:
+        view = _grow_view(arities, uncovered, max_cells, rng)
+        views.append(view)
+        view_set = set(view)
+        uncovered = {
+            pair for pair in uncovered if not set(pair) <= view_set
+        }
+    if d == 1:
+        views.append((0,))
+    return views
+
+
+def _grow_view(arities, uncovered, max_cells, rng) -> tuple[int, ...]:
+    """Grow one view: seed with an uncovered pair, greedily extend."""
+    d = len(arities)
+    seed = next(iter(uncovered))
+    members = set(seed)
+    while True:
+        best_gain, best_attr = 0, None
+        candidates = list(range(d))
+        rng.shuffle(candidates)
+        for attr in candidates:
+            if attr in members:
+                continue
+            if _cells(arities, members | {attr}) > max_cells:
+                continue
+            gain = sum(
+                1
+                for m in members
+                if (min(attr, m), max(attr, m)) in uncovered
+            )
+            if gain > best_gain:
+                best_gain, best_attr = gain, attr
+        if best_attr is None:
+            return tuple(sorted(members))
+        members.add(best_attr)

@@ -1,0 +1,66 @@
+"""Command-line entry point: ``python -m repro``.
+
+Examples::
+
+    python -m repro list
+    python -m repro run figure1 --scale quick
+    python -m repro run figure2 --scale paper --seed 3
+    python -m repro run all --scale medium
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.config import SCALES
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the tables and figures of PriView (SIGMOD 2014)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run_parser = sub.add_parser("run", help="run one experiment (or 'all')")
+    run_parser.add_argument(
+        "experiment", choices=sorted(EXPERIMENTS) + ["all"]
+    )
+    run_parser.add_argument(
+        "--scale", choices=sorted(SCALES), default=None,
+        help="protocol size (default: $REPRO_SCALE or quick)",
+    )
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument(
+        "--chart", action="store_true",
+        help="append a log-scale ASCII chart per figure",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for experiment_id in sorted(EXPERIMENTS):
+            print(experiment_id)
+        return 0
+    targets = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for experiment_id in targets:
+        print(
+            run_experiment(
+                experiment_id,
+                scale=args.scale,
+                seed=args.seed,
+                chart=args.chart,
+            )
+        )
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

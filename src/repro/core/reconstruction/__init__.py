@@ -1,0 +1,87 @@
+"""Reconstruction of k-way marginals from view marginals (Section 4.3).
+
+:func:`reconstruct` is the front door.  When some view fully covers the
+target attributes the answer is a straight projection; otherwise the
+requested solver combines the views' partial information:
+
+* ``maxent`` — maximum entropy via IPF (the paper's choice, "CME");
+* ``maxent-dual`` — same optimisation through the scipy dual solver;
+* ``lsq`` — least-L2-norm solution ("CLN");
+* ``lp`` — min-max-violation linear program ("LP"/"CLP").
+"""
+
+from __future__ import annotations
+
+from repro.core.reconstruction.constraints import (
+    MarginalConstraint,
+    build_constraint_system,
+    covering_view,
+    extract_constraints,
+)
+from repro.core.reconstruction.least_squares import least_squares
+from repro.core.reconstruction.linear_program import linear_program
+from repro.core.reconstruction.maxent import maxent, maxent_dual
+from repro.exceptions import ReconstructionError
+from repro.marginals.table import MarginalTable, _as_sorted_attrs
+
+_SOLVERS = {
+    "maxent": maxent,
+    "maxent-dual": maxent_dual,
+    "lsq": least_squares,
+    "lp": linear_program,
+}
+
+RECONSTRUCTION_METHODS = tuple(_SOLVERS)
+
+
+def reconstruct(
+    views: list[MarginalTable],
+    target_attrs,
+    method: str = "maxent",
+    use_covering_view: bool = True,
+) -> MarginalTable:
+    """Reconstruct the marginal over ``target_attrs`` from view tables.
+
+    Parameters
+    ----------
+    views:
+        View marginals (mutually consistent for every method but
+        ``lp``, which also accepts raw views).
+    target_attrs:
+        Attribute set ``A`` of the desired k-way marginal.
+    method:
+        One of :data:`RECONSTRUCTION_METHODS`.
+    use_covering_view:
+        When True (default) and a view contains ``A``, return its
+        projection directly — the trivial case of Section 4.3.
+    """
+    if method not in _SOLVERS:
+        raise ReconstructionError(
+            f"unknown reconstruction method {method!r}; "
+            f"choose from {RECONSTRUCTION_METHODS}"
+        )
+    target = _as_sorted_attrs(target_attrs)
+    if use_covering_view:
+        cover = covering_view(views, target)
+        if cover is not None:
+            return cover.project(target)
+    keep_maximal = method != "lp"
+    constraints = extract_constraints(views, target, keep_maximal_only=keep_maximal)
+    total = float(
+        sum(v.total() for v in views) / len(views)
+    ) if views else 0.0
+    return _SOLVERS[method](constraints, target, total)
+
+
+__all__ = [
+    "MarginalConstraint",
+    "RECONSTRUCTION_METHODS",
+    "build_constraint_system",
+    "covering_view",
+    "extract_constraints",
+    "least_squares",
+    "linear_program",
+    "maxent",
+    "maxent_dual",
+    "reconstruct",
+]

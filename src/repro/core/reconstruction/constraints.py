@@ -1,0 +1,100 @@
+"""Constraint extraction for k-way reconstruction (paper Section 4.3).
+
+For a target attribute set ``A`` and a view ``V``, the view's marginal
+projected onto ``B = V ∩ A`` imposes ``2**|B|`` linear constraints on
+the cells of ``T_A``.  Constraints from a ``B`` nested inside another
+view's ``B'`` are implied once the views are consistent, so only
+maximal intersections are kept.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ReconstructionError
+from repro.marginals.projection import constraint_matrix, subset_positions
+from repro.marginals.table import MarginalTable, _as_sorted_attrs
+
+
+@dataclass(frozen=True)
+class MarginalConstraint:
+    """``T_A[attrs] == target`` — one view's contribution."""
+
+    attrs: tuple[int, ...]  # subset of the reconstruction target A
+    target: np.ndarray  # length 2**len(attrs)
+
+    @property
+    def arity(self) -> int:
+        return len(self.attrs)
+
+
+def extract_constraints(
+    views: list[MarginalTable],
+    target_attrs,
+    keep_maximal_only: bool = True,
+) -> list[MarginalConstraint]:
+    """Constraints on ``T_A`` induced by the given view marginals.
+
+    With ``keep_maximal_only`` (the default, appropriate for mutually
+    consistent views) a constraint set nested in another is dropped,
+    and duplicate sets are collapsed to one (their targets agree after
+    consistency; we average to also support raw views).
+    """
+    target = _as_sorted_attrs(target_attrs)
+    target_set = set(target)
+    by_attrs: dict[tuple[int, ...], list[np.ndarray]] = {}
+    for view in views:
+        inter = tuple(sorted(target_set & set(view.attrs)))
+        if not inter:
+            continue
+        by_attrs.setdefault(inter, []).append(view.project(inter).counts)
+
+    if not by_attrs:
+        raise ReconstructionError(
+            f"no view intersects the target attributes {target}"
+        )
+
+    kept = list(by_attrs)
+    if keep_maximal_only:
+        kept = [
+            b
+            for b in by_attrs
+            if not any(set(b) < set(other) for other in by_attrs)
+        ]
+    constraints = []
+    for attrs in sorted(kept, key=lambda a: (-len(a), a)):
+        stacked = np.vstack(by_attrs[attrs])
+        constraints.append(MarginalConstraint(attrs, stacked.mean(axis=0)))
+    return constraints
+
+
+def covering_view(views: list[MarginalTable], target_attrs) -> MarginalTable | None:
+    """The first view fully containing the target, if any (trivial case)."""
+    target = set(_as_sorted_attrs(target_attrs))
+    for view in views:
+        if target.issubset(view.attrs):
+            return view
+    return None
+
+
+def build_constraint_system(
+    constraints: list[MarginalConstraint],
+    target_attrs,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Stack constraints into a dense system ``M x = b``.
+
+    ``x`` is the flattened 2**k cell vector of the target marginal.
+    Used by the LP and least-squares solvers; the max-entropy solver
+    works directly on the structured constraints instead.
+    """
+    target = _as_sorted_attrs(target_attrs)
+    k = len(target)
+    rows = []
+    rhs = []
+    for c in constraints:
+        positions = subset_positions(target, c.attrs)
+        rows.append(constraint_matrix(k, positions))
+        rhs.append(c.target)
+    return np.vstack(rows), np.concatenate(rhs)

@@ -1,0 +1,71 @@
+"""Persisting a PriView synopsis.
+
+The synopsis *is* the published artifact: once written to disk it can
+be shipped to analysts, who reconstruct marginals without any access
+to the private data (or to this library's fitting code paths).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+import numpy as np
+
+from repro.core.synopsis import PriViewSynopsis
+from repro.covering.design import CoveringDesign
+from repro.exceptions import DatasetError
+from repro.marginals.table import MarginalTable
+
+#: bumped on breaking changes to the on-disk layout
+FORMAT_VERSION = 1
+
+
+def save_synopsis(
+    synopsis: PriViewSynopsis, path: str | os.PathLike
+) -> pathlib.Path:
+    """Write a synopsis to ``path`` (compressed .npz)."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    header = {
+        "format_version": FORMAT_VERSION,
+        "epsilon": synopsis.epsilon,
+        "num_attributes": synopsis.num_attributes,
+        "design": synopsis.design.to_text(),
+        "view_attrs": [list(v.attrs) for v in synopsis.views],
+        "metadata": synopsis.metadata,
+    }
+    arrays = {
+        f"view_{i}": view.counts for i, view in enumerate(synopsis.views)
+    }
+    np.savez_compressed(path, header=json.dumps(header), **arrays)
+    return path if path.suffix == ".npz" else path.with_suffix(
+        path.suffix + ".npz"
+    )
+
+
+def load_synopsis(path: str | os.PathLike) -> PriViewSynopsis:
+    """Load a synopsis written by :func:`save_synopsis`."""
+    path = pathlib.Path(path)
+    if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
+        path = path.with_suffix(path.suffix + ".npz")
+    if not path.exists():
+        raise DatasetError(f"missing synopsis file {path}")
+    with np.load(path, allow_pickle=False) as archive:
+        header = json.loads(str(archive["header"]))
+        if header.get("format_version") != FORMAT_VERSION:
+            raise DatasetError(
+                f"unsupported synopsis format {header.get('format_version')}"
+            )
+        views = [
+            MarginalTable(tuple(attrs), archive[f"view_{i}"])
+            for i, attrs in enumerate(header["view_attrs"])
+        ]
+    return PriViewSynopsis(
+        design=CoveringDesign.from_text(header["design"]),
+        views=views,
+        epsilon=float(header["epsilon"]),
+        num_attributes=int(header["num_attributes"]),
+        metadata=header.get("metadata", {}),
+    )

@@ -1,0 +1,75 @@
+"""The PriView synopsis: what is published, and how it answers queries.
+
+A :class:`PriViewSynopsis` holds the post-processed view marginals.  It
+no longer references the private dataset — once built, any number of
+k-way marginals (for any ``k``) can be reconstructed from it without
+further privacy cost, the property the paper highlights at the end of
+Section 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.reconstruction import reconstruct
+from repro.covering.design import CoveringDesign
+from repro.marginals.table import MarginalTable, _as_sorted_attrs
+
+
+@dataclass
+class PriViewSynopsis:
+    """Published, consistent, non-negative view marginals.
+
+    Attributes
+    ----------
+    design:
+        The covering design whose blocks are the view attribute sets.
+    views:
+        One :class:`MarginalTable` per design block, mutually
+        consistent.
+    epsilon:
+        The privacy budget the synopsis satisfies.
+    num_attributes:
+        Dimensionality ``d`` of the underlying dataset.
+    """
+
+    design: CoveringDesign
+    views: list[MarginalTable]
+    epsilon: float
+    num_attributes: int
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def num_views(self) -> int:
+        """``w`` — number of released view marginals."""
+        return len(self.views)
+
+    def total_count(self) -> float:
+        """The common (consistent) total count ``N_V``."""
+        if not self.views:
+            return 0.0
+        return sum(v.total() for v in self.views) / len(self.views)
+
+    def is_covered(self, attrs) -> bool:
+        """True when some view fully contains ``attrs``."""
+        target = set(_as_sorted_attrs(attrs))
+        return any(target.issubset(v.attrs) for v in self.views)
+
+    def marginal(self, attrs, method: str = "maxent") -> MarginalTable:
+        """Reconstruct the k-way marginal over ``attrs``.
+
+        When some view covers ``attrs`` this is a projection; otherwise
+        the requested solver (default: maximum entropy) combines the
+        constraints every intersecting view contributes.
+        """
+        return reconstruct(self.views, attrs, method=method)
+
+    def marginals(self, attr_sets, method: str = "maxent") -> list[MarginalTable]:
+        """Reconstruct several marginals (convenience wrapper)."""
+        return [self.marginal(attrs, method=method) for attrs in attr_sets]
+
+    def __repr__(self) -> str:
+        return (
+            f"PriViewSynopsis(design={self.design.notation}, d={self.num_attributes},"
+            f" epsilon={self.epsilon}, views={self.num_views})"
+        )

@@ -1,0 +1,34 @@
+"""Covering designs: the view-selection substrate (paper Definition 3).
+
+A ``(w, l, t)``-covering design over ``d`` points is a family of ``w``
+size-``l`` blocks such that every ``t``-subset of points lies inside at
+least one block.  The paper looks designs up in the La Jolla repository;
+this package *constructs* them instead:
+
+* :mod:`repro.covering.greedy` — randomised greedy construction;
+* :mod:`repro.covering.local_search` — simulated-annealing search for a
+  design with a prescribed number of blocks;
+* :mod:`repro.covering.algebraic` — exact constructions from affine
+  planes / mutually orthogonal Latin squares (these give the paper's
+  C_2(8, 20) for d=32 and C_2(8, 72) for d=64 exactly);
+* :mod:`repro.covering.repository` — bundled designs precomputed by the
+  above constructors, so experiments never pay construction time.
+"""
+
+from repro.covering.design import CoveringDesign
+from repro.covering.bounds import schonheim_bound
+from repro.covering.greedy import greedy_cover
+from repro.covering.local_search import anneal_cover
+from repro.covering.algebraic import affine_plane_design, grid_mols_design
+from repro.covering.repository import best_design, construct_design
+
+__all__ = [
+    "CoveringDesign",
+    "schonheim_bound",
+    "greedy_cover",
+    "anneal_cover",
+    "affine_plane_design",
+    "grid_mols_design",
+    "best_design",
+    "construct_design",
+]

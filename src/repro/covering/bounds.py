@@ -1,0 +1,37 @@
+"""Lower bounds on covering numbers.
+
+The Schönheim bound is the standard recursive lower bound on
+``C(v, l, t)``, the minimum number of blocks of a covering design.  We
+use it to report how far a constructed design is from optimal, and in
+tests to certify that the algebraic constructions are exactly optimal
+(they meet the bound for d=32 and d=64 with l=8, t=2 — the paper's
+C_2(8,20) and C_2(8,72)).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import DesignError
+
+
+def schonheim_bound(num_points: int, block_size: int, strength: int) -> int:
+    """The Schönheim lower bound ``C(v, l, t) >= ceil(v/l * C(v-1, l-1, t-1))``.
+
+    The recursion bottoms out at ``t = 1`` with ``ceil(v / l)``.
+    """
+    if strength < 1 or block_size < strength or num_points < block_size:
+        raise DesignError(
+            f"invalid parameters v={num_points}, l={block_size}, t={strength}"
+        )
+    if strength == 1:
+        return math.ceil(num_points / block_size)
+    inner = schonheim_bound(num_points - 1, block_size - 1, strength - 1)
+    return math.ceil(num_points * inner / block_size)
+
+
+def pair_counting_bound(num_points: int, block_size: int) -> int:
+    """Trivial t=2 bound: blocks*C(l,2) must reach C(v,2)."""
+    if block_size < 2 or num_points < block_size:
+        raise DesignError(f"invalid parameters v={num_points}, l={block_size}")
+    return math.ceil(math.comb(num_points, 2) / math.comb(block_size, 2))

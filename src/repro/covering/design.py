@@ -1,0 +1,158 @@
+"""The :class:`CoveringDesign` container and its validation logic."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.exceptions import DesignError
+
+
+def _tsets_of_block(block: tuple[int, ...], t: int):
+    return itertools.combinations(sorted(block), t)
+
+
+@dataclass
+class CoveringDesign:
+    """A ``(w, l, t)``-covering design over ``range(num_points)``.
+
+    Attributes
+    ----------
+    num_points:
+        Size ``d`` of the ground set; points are ``0..d-1``.
+    block_size:
+        ``l``, the number of points per block (the paper's view width).
+    strength:
+        ``t``; every ``t``-subset of points must be inside some block.
+    blocks:
+        Tuple of sorted point-tuples.  Blocks may have fewer than
+        ``block_size`` points only if ``num_points < block_size``.
+    """
+
+    num_points: int
+    block_size: int
+    strength: int
+    blocks: tuple[tuple[int, ...], ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.strength < 1:
+            raise DesignError(f"strength must be >= 1, got {self.strength}")
+        if self.block_size < self.strength:
+            raise DesignError(
+                f"block_size {self.block_size} < strength {self.strength}"
+            )
+        norm = []
+        for block in self.blocks:
+            b = tuple(sorted(int(p) for p in block))
+            if len(set(b)) != len(b):
+                raise DesignError(f"block {block} has duplicate points")
+            if b and (b[0] < 0 or b[-1] >= self.num_points):
+                raise DesignError(f"block {block} out of range 0..{self.num_points-1}")
+            expected = min(self.block_size, self.num_points)
+            if len(b) != expected:
+                raise DesignError(
+                    f"block {block} has {len(b)} points, expected {expected}"
+                )
+            norm.append(b)
+        self.blocks = tuple(norm)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_blocks(self) -> int:
+        """``w``, the number of blocks (= number of PriView views)."""
+        return len(self.blocks)
+
+    @property
+    def notation(self) -> str:
+        """The paper's ``C_t(l, w)`` name for this design."""
+        return f"C_{self.strength}({self.block_size},{self.num_blocks})"
+
+    # ------------------------------------------------------------------
+    def uncovered_tsets(self) -> list[tuple[int, ...]]:
+        """All ``t``-subsets of the ground set not inside any block."""
+        covered: set[tuple[int, ...]] = set()
+        for block in self.blocks:
+            covered.update(_tsets_of_block(block, self.strength))
+        return [
+            ts
+            for ts in itertools.combinations(range(self.num_points), self.strength)
+            if ts not in covered
+        ]
+
+    def is_covering(self) -> bool:
+        """True iff every ``t``-subset is covered."""
+        return not self.uncovered_tsets()
+
+    def validate(self) -> None:
+        """Raise :class:`DesignError` unless this is a valid covering."""
+        missing = self.uncovered_tsets()
+        if missing:
+            raise DesignError(
+                f"{self.notation} over {self.num_points} points misses "
+                f"{len(missing)} {self.strength}-sets, e.g. {missing[:3]}"
+            )
+        covered_points = {p for block in self.blocks for p in block}
+        if covered_points != set(range(self.num_points)):
+            raise DesignError("design does not cover every point")
+
+    # ------------------------------------------------------------------
+    def coverage_multiplicity(self) -> dict[tuple[int, ...], int]:
+        """How many blocks cover each ``t``-subset (the averaging gain)."""
+        mult: dict[tuple[int, ...], int] = {
+            ts: 0
+            for ts in itertools.combinations(range(self.num_points), self.strength)
+        }
+        for block in self.blocks:
+            for ts in _tsets_of_block(block, self.strength):
+                mult[ts] += 1
+        return mult
+
+    def covers(self, attrs) -> bool:
+        """True when some block contains every attribute in ``attrs``."""
+        target = set(attrs)
+        return any(target.issubset(block) for block in self.blocks)
+
+    def drop_redundant(self) -> "CoveringDesign":
+        """Remove blocks whose removal keeps the design covering."""
+        blocks = list(self.blocks)
+        changed = True
+        while changed:
+            changed = False
+            for i in range(len(blocks)):
+                candidate = blocks[:i] + blocks[i + 1 :]
+                trial = CoveringDesign(
+                    self.num_points, self.block_size, self.strength, tuple(candidate)
+                )
+                if trial.is_covering() and {
+                    p for b in candidate for p in b
+                } == set(range(self.num_points)):
+                    blocks = candidate
+                    changed = True
+                    break
+        return CoveringDesign(
+            self.num_points, self.block_size, self.strength, tuple(blocks)
+        )
+
+    # ------------------------------------------------------------------
+    # Serialisation (used by the bundled repository)
+    # ------------------------------------------------------------------
+    def to_text(self) -> str:
+        """Serialise: header line then one block per line."""
+        lines = [f"{self.num_points} {self.block_size} {self.strength}"]
+        lines += [" ".join(str(p) for p in block) for block in self.blocks]
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_text(cls, text: str) -> "CoveringDesign":
+        """Parse the :meth:`to_text` format."""
+        lines = [ln for ln in text.splitlines() if ln.strip()]
+        if not lines:
+            raise DesignError("empty design text")
+        try:
+            d, l, t = (int(x) for x in lines[0].split())
+            blocks = tuple(
+                tuple(int(x) for x in ln.split()) for ln in lines[1:]
+            )
+        except ValueError as exc:
+            raise DesignError(f"malformed design text: {exc}") from exc
+        return cls(d, l, t, blocks)

@@ -1,0 +1,296 @@
+"""Simulated-annealing search for a covering with a prescribed size.
+
+Given a target block count ``w``, the search starts from random (or
+provided) blocks and performs point-swap moves, accepting moves by the
+Metropolis rule on the number of uncovered ``t``-subsets.  Reaching
+zero uncovered subsets yields a valid ``(w, l, t)`` covering design.
+This is the workhorse that closes the gap between the greedy block
+count and the best known covering numbers.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import numpy as np
+
+from repro.covering.design import CoveringDesign
+from repro.exceptions import DesignError
+
+
+def anneal_cover(
+    num_points: int,
+    block_size: int,
+    strength: int,
+    num_blocks: int,
+    rng: np.random.Generator | None = None,
+    max_steps: int = 200_000,
+    initial: CoveringDesign | None = None,
+    restarts: int = 3,
+) -> CoveringDesign | None:
+    """Search for a covering design with exactly ``num_blocks`` blocks.
+
+    Returns the design on success and ``None`` when every restart
+    exhausts ``max_steps`` with ``t``-subsets still uncovered.
+    """
+    rng = rng or np.random.default_rng()
+    for _ in range(max(1, restarts)):
+        design = _single_run(
+            num_points, block_size, strength, num_blocks, rng, max_steps, initial
+        )
+        if design is not None:
+            return design
+        initial = None  # later restarts start fresh
+    return None
+
+
+def shrink_design(
+    design: CoveringDesign,
+    rng: np.random.Generator | None = None,
+    max_steps: int = 150_000,
+    time_budget: float | None = None,
+    max_failures: int = 2,
+) -> CoveringDesign:
+    """Repeatedly drop the most redundant block and repair by annealing.
+
+    Much stronger than cold-start annealing for t >= 3: the repair
+    starts from a design missing only the dropped block's uniquely
+    covered ``t``-subsets, so the search begins steps — not mountains —
+    away from feasibility.  Stops after ``max_failures`` consecutive
+    failed repairs or when the optional ``time_budget`` (seconds) runs
+    out.
+    """
+    import time as _time
+
+    rng = rng or np.random.default_rng()
+    start = _time.time()
+    failures = 0
+    while failures < max_failures and design.num_blocks > 1:
+        if time_budget is not None and _time.time() - start > time_budget:
+            break
+        drop = _most_redundant_block(design, rng)
+        seed_blocks = tuple(
+            b for i, b in enumerate(design.blocks) if i != drop
+        )
+        initial = CoveringDesign(
+            design.num_points,
+            design.block_size,
+            design.strength,
+            seed_blocks,
+        )
+        repaired = anneal_cover(
+            design.num_points,
+            design.block_size,
+            design.strength,
+            design.num_blocks - 1,
+            rng=rng,
+            max_steps=max_steps,
+            initial=initial,
+            restarts=1,
+        )
+        if repaired is None:
+            failures += 1
+            continue
+        failures = 0
+        design = repaired
+    return design
+
+
+def _most_redundant_block(
+    design: CoveringDesign, rng: np.random.Generator | None = None
+) -> int:
+    """A block covering few uniquely covered t-sets (random among the
+    most redundant handful, so failed repairs retry a different drop)."""
+    counts: dict[tuple[int, ...], int] = {}
+    per_block: list[list[tuple[int, ...]]] = []
+    for block in design.blocks:
+        tsets = list(itertools.combinations(block, design.strength))
+        per_block.append(tsets)
+        for ts in tsets:
+            counts[ts] = counts.get(ts, 0) + 1
+    unique = np.array(
+        [sum(1 for ts in tsets if counts[ts] == 1) for tsets in per_block]
+    )
+    if rng is None:
+        return int(np.argmin(unique))
+    shortlist = np.argsort(unique)[: min(5, unique.size)]
+    return int(rng.choice(shortlist))
+
+
+def _random_blocks(
+    num_points: int, block_size: int, num_blocks: int, rng: np.random.Generator
+) -> list[list[int]]:
+    return [
+        sorted(rng.choice(num_points, size=block_size, replace=False).tolist())
+        for _ in range(num_blocks)
+    ]
+
+
+def _coverage_counts(
+    blocks: list[list[int]], strength: int, tset_index: dict[tuple[int, ...], int]
+) -> np.ndarray:
+    counts = np.zeros(len(tset_index), dtype=np.int64)
+    for block in blocks:
+        for ts in itertools.combinations(sorted(block), strength):
+            counts[tset_index[ts]] += 1
+    return counts
+
+
+def _single_run(
+    num_points: int,
+    block_size: int,
+    strength: int,
+    num_blocks: int,
+    rng: np.random.Generator,
+    max_steps: int,
+    initial: CoveringDesign | None,
+) -> CoveringDesign | None:
+    if num_points < block_size:
+        raise DesignError("num_points < block_size")
+    all_tsets = list(itertools.combinations(range(num_points), strength))
+    tset_index = {ts: i for i, ts in enumerate(all_tsets)}
+
+    if initial is not None and initial.num_blocks == num_blocks:
+        blocks = [list(b) for b in initial.blocks]
+    else:
+        blocks = _random_blocks(num_points, block_size, num_blocks, rng)
+    counts = _coverage_counts(blocks, strength, tset_index)
+    uncovered_set = {int(i) for i in np.flatnonzero(counts == 0)}
+    uncovered = len(uncovered_set)
+
+    temperature = max(1.0, uncovered / 10.0)
+    cooling = math.exp(math.log(0.01 / temperature) / max_steps)
+    #: fraction of moves that directly target an uncovered t-set
+    #: (WalkSAT-style focusing; uniform moves alone rarely propose the
+    #: one swap that covers a specific missing t-set)
+    focus_probability = 0.5
+
+    uncovered_list: list[int] = list(uncovered_set)
+    uncovered_dirty = False
+    for _ in range(max_steps):
+        if uncovered == 0:
+            break
+        if rng.random() < focus_probability:
+            if uncovered_dirty:
+                uncovered_list = list(uncovered_set)
+                uncovered_dirty = False
+            move = _focused_move(
+                blocks, uncovered_list, all_tsets, rng
+            )
+            if move is None:
+                continue
+            bi, pos, new_point = move
+            block = blocks[bi]
+        else:
+            bi = int(rng.integers(num_blocks))
+            block = blocks[bi]
+            pos = int(rng.integers(block_size))
+            new_point = int(rng.integers(num_points))
+        old_point = block[pos]
+        if new_point in block:
+            continue
+
+        delta, touched = _swap_delta(
+            block, pos, new_point, strength, counts, tset_index
+        )
+        if delta <= 0 or rng.random() < math.exp(-delta / max(temperature, 1e-9)):
+            for idx, change in touched:
+                before = counts[idx]
+                counts[idx] = before + change
+                if before == 0 and change > 0:
+                    uncovered_set.discard(idx)
+                    uncovered_dirty = True
+                elif before > 0 and counts[idx] == 0:
+                    uncovered_set.add(idx)
+                    uncovered_dirty = True
+            block[pos] = new_point
+            block.sort()
+            uncovered += delta
+        temperature *= cooling
+
+    if uncovered != 0:
+        return None
+    design = CoveringDesign(
+        num_points,
+        block_size,
+        strength,
+        tuple(tuple(sorted(b)) for b in blocks),
+    )
+    design.validate()
+    return design
+
+
+def _focused_move(
+    blocks: list[list[int]],
+    uncovered_list: list[int],
+    all_tsets: list[tuple[int, ...]],
+    rng: np.random.Generator,
+) -> tuple[int, int, int] | None:
+    """Propose a swap that covers one randomly chosen uncovered t-set.
+
+    Picks an uncovered t-set, then a block containing all but one of
+    its points, and proposes replacing one of the block's other points
+    with the missing one.  Falls back to a block containing fewer of
+    the t-set's points when no (t-1)-containing block exists.
+    """
+    if not uncovered_list:
+        return None
+    target = all_tsets[uncovered_list[int(rng.integers(len(uncovered_list)))]]
+    target_set = set(target)
+    overlaps = [len(target_set.intersection(b)) for b in blocks]
+    best = max(overlaps)
+    candidates = [i for i, o in enumerate(overlaps) if o == best]
+    bi = int(rng.choice(candidates))
+    block = blocks[bi]
+    missing = [p for p in target if p not in block]
+    replaceable = [j for j, p in enumerate(block) if p not in target_set]
+    if not missing or not replaceable:
+        return None
+    return bi, int(rng.choice(replaceable)), int(rng.choice(missing))
+
+
+def _swap_delta(
+    block: list[int],
+    pos: int,
+    new_point: int,
+    strength: int,
+    counts: np.ndarray,
+    tset_index: dict[tuple[int, ...], int],
+) -> tuple[int, list[tuple[int, int]]]:
+    """Change in uncovered count if ``block[pos]`` becomes ``new_point``.
+
+    Returns the delta and the (tset index, count change) updates to
+    apply if the move is accepted.
+    """
+    old_point = block[pos]
+    others = [p for i, p in enumerate(block) if i != pos]
+    delta = 0
+    touched: list[tuple[int, int]] = []
+    for sub in itertools.combinations(others, strength - 1):
+        old_ts = tuple(sorted(sub + (old_point,)))
+        idx_old = tset_index[old_ts]
+        if counts[idx_old] == 1:
+            delta += 1  # becomes uncovered
+        touched.append((idx_old, -1))
+        new_ts = tuple(sorted(sub + (new_point,)))
+        idx_new = tset_index[new_ts]
+        if counts[idx_new] == 0:
+            delta -= 1  # becomes covered
+        touched.append((idx_new, +1))
+    # Handle a t-set counted twice (possible only when strength >= 2 and
+    # the same index appears in both lists); recompute exactly then.
+    if strength >= 2:
+        seen: dict[int, int] = {}
+        for idx, change in touched:
+            seen[idx] = seen.get(idx, 0) + change
+        delta = 0
+        for idx, change in seen.items():
+            before = counts[idx]
+            after = before + change
+            if before == 0 and after > 0:
+                delta -= 1
+            elif before > 0 and after == 0:
+                delta += 1
+        touched = list(seen.items())
+    return delta, touched

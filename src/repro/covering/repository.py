@@ -1,0 +1,147 @@
+"""Bundled covering designs and the construction front-end.
+
+The paper fetches designs from the La Jolla repository.  Offline, we
+bundle designs produced by this package's own constructors (see
+``scripts/generate_designs.py``) under ``repro/covering/data`` and fall
+back to constructing on the fly:
+
+1. exact algebraic construction when the parameters admit one;
+2. bundled precomputed design;
+3. randomised greedy (optionally improved by annealing).
+
+:func:`best_design` is what PriView's view selection calls.
+"""
+
+from __future__ import annotations
+
+import functools
+import importlib.resources
+import pathlib
+
+import numpy as np
+
+from repro.covering.algebraic import affine_plane_design, grid_mols_design
+from repro.covering.design import CoveringDesign
+from repro.covering.greedy import greedy_cover
+from repro.covering.local_search import anneal_cover
+from repro.exceptions import DesignError
+
+
+def _data_dir() -> pathlib.Path:
+    return pathlib.Path(str(importlib.resources.files("repro.covering"))) / "data"
+
+
+def design_filename(num_points: int, block_size: int, strength: int) -> str:
+    """Canonical bundled-file name for the given parameters."""
+    return f"cover_d{num_points}_l{block_size}_t{strength}.txt"
+
+
+def _is_prime_power(n: int) -> bool:
+    if n < 2:
+        return False
+    for p in range(2, n + 1):
+        if n % p == 0:
+            while n % p == 0:
+                n //= p
+            return n == 1
+    return False
+
+
+def algebraic_design(
+    num_points: int, block_size: int, strength: int
+) -> CoveringDesign | None:
+    """An exact construction when the parameters admit one, else None."""
+    if strength != 2:
+        return None
+    if num_points == block_size * block_size and _is_prime_power(block_size):
+        try:
+            return affine_plane_design(block_size)
+        except DesignError:
+            return None
+    if num_points % block_size == 0:
+        groups = num_points // block_size
+        if groups > 1 and block_size % groups == 0 and _is_prime_power(groups):
+            try:
+                return grid_mols_design(block_size, groups)
+            except DesignError:
+                return None
+    return None
+
+
+def load_bundled_design(
+    num_points: int, block_size: int, strength: int
+) -> CoveringDesign | None:
+    """Load a design shipped with the package, or None if absent."""
+    path = _data_dir() / design_filename(num_points, block_size, strength)
+    if not path.exists():
+        return None
+    design = CoveringDesign.from_text(path.read_text())
+    if (
+        design.num_points != num_points
+        or design.block_size != block_size
+        or design.strength != strength
+    ):
+        raise DesignError(f"bundled design {path.name} has mismatched parameters")
+    return design
+
+
+def construct_design(
+    num_points: int,
+    block_size: int,
+    strength: int,
+    rng: np.random.Generator | None = None,
+    effort: int = 0,
+) -> CoveringDesign:
+    """Construct a design from scratch (no repository lookup).
+
+    ``effort`` > 0 additionally runs ``effort`` annealing attempts, each
+    trying to shave one block off the best design found so far.
+    """
+    rng = rng or np.random.default_rng(0)
+    design = algebraic_design(num_points, block_size, strength)
+    if design is not None:
+        return design
+    if num_points <= block_size:
+        # One block containing everything is a trivially optimal cover.
+        return CoveringDesign(
+            num_points,
+            min(block_size, num_points),
+            strength,
+            (tuple(range(num_points)),),
+        )
+    design = greedy_cover(num_points, block_size, strength, rng).drop_redundant()
+    for _ in range(effort):
+        smaller = anneal_cover(
+            num_points,
+            block_size,
+            strength,
+            design.num_blocks - 1,
+            rng=rng,
+            restarts=2,
+        )
+        if smaller is None:
+            break
+        design = smaller.drop_redundant()
+    return design
+
+
+@functools.lru_cache(maxsize=64)
+def best_design(num_points: int, block_size: int, strength: int) -> CoveringDesign:
+    """The best available design: algebraic, else bundled, else greedy."""
+    design = algebraic_design(num_points, block_size, strength)
+    if design is None:
+        design = load_bundled_design(num_points, block_size, strength)
+    if design is None:
+        design = construct_design(num_points, block_size, strength)
+    return design
+
+
+def save_design(design: CoveringDesign, directory: pathlib.Path | None = None) -> pathlib.Path:
+    """Write a design into the bundled-data directory (used by scripts)."""
+    directory = directory or _data_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / design_filename(
+        design.num_points, design.block_size, design.strength
+    )
+    path.write_text(design.to_text())
+    return path

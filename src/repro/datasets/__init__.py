@@ -1,0 +1,42 @@
+"""Dataset generators and loaders for the paper's evaluation.
+
+The paper evaluates on Kosarak (d=32), AOL (d=45), MSNBC (d=9) and
+synthetic MCHAIN datasets (d=64, Markov order 1..7).  The real files
+are not redistributable, so this package provides
+
+* exact MCHAIN generation per the Section 5 recipe
+  (:mod:`repro.datasets.mchain`);
+* statistically matched synthetic stand-ins for the three click-stream
+  datasets (:mod:`repro.datasets.clickstream`), with identical N and d;
+* loaders for the original files (FIMI ``.dat``, the UCI MSNBC sequence
+  format) that are used automatically when a data directory is
+  supplied (:mod:`repro.datasets.loaders`).
+"""
+
+from repro.datasets.mchain import markov_chain_dataset, stationary_distribution
+from repro.datasets.clickstream import (
+    aol_like,
+    clickstream_dataset,
+    kosarak_like,
+    msnbc_like,
+)
+from repro.datasets.loaders import (
+    load_fimi_transactions,
+    load_msnbc_sequences,
+    load_or_synthesize,
+)
+from repro.datasets.io import load_dataset, save_dataset
+
+__all__ = [
+    "markov_chain_dataset",
+    "stationary_distribution",
+    "clickstream_dataset",
+    "kosarak_like",
+    "aol_like",
+    "msnbc_like",
+    "load_fimi_transactions",
+    "load_msnbc_sequences",
+    "load_or_synthesize",
+    "load_dataset",
+    "save_dataset",
+]

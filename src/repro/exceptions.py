@@ -1,0 +1,31 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised intentionally by this library derive from
+:class:`ReproError`, so callers can catch a single base class.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class DimensionError(ReproError):
+    """An attribute index or attribute set is incompatible with the data."""
+
+
+class PrivacyBudgetError(ReproError):
+    """A privacy budget was exhausted, negative, or misused."""
+
+
+class DesignError(ReproError):
+    """A covering design is malformed or cannot be constructed."""
+
+
+class ReconstructionError(ReproError):
+    """A marginal reconstruction failed to produce a usable table."""
+
+
+class DatasetError(ReproError):
+    """A dataset file is missing or malformed."""

@@ -1,0 +1,33 @@
+"""Experiment drivers reproducing every table and figure of the paper.
+
+Each ``figureN``/``tables``/``timing`` module exposes a ``run()``
+returning :class:`~repro.experiments.runner.ExperimentResult` objects
+whose ``render()`` prints the same rows/series the paper reports.  The
+``scale`` argument selects the protocol size:
+
+* ``"quick"`` — small datasets, few queries; seconds per figure (used
+  by the benchmark suite and CI);
+* ``"medium"`` — intermediate;
+* ``"paper"`` — the full Section 5 protocol (200 query sets x 5 runs,
+  full-size datasets).
+
+The registry in :mod:`repro.experiments.registry` maps experiment ids
+(``figure1`` .. ``figure6``, ``tables``, ``timing``) to their drivers;
+``python -m repro`` runs them from the command line.
+"""
+
+from repro.experiments.config import SCALES, ExperimentScale, get_scale
+from repro.experiments.runner import (
+    ExperimentResult,
+    MethodResult,
+    evaluate_mechanism,
+)
+
+__all__ = [
+    "SCALES",
+    "ExperimentScale",
+    "get_scale",
+    "ExperimentResult",
+    "MethodResult",
+    "evaluate_mechanism",
+]

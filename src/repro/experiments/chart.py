@@ -1,0 +1,76 @@
+"""ASCII rendering of figure results.
+
+The paper's figures are log-scale candlestick plots; this module draws
+a terminal approximation so ``python -m repro run figureN`` output can
+be eyeballed against the paper directly: one bar per (method, k) cell,
+bar length proportional to log10(error), with the interquartile span
+marked.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments.runner import ExperimentResult
+
+#: glyphs: bar body, interquartile band, mean marker
+_BAR, _BAND, _MEAN = "-", "=", "O"
+_WIDTH = 46
+
+
+def _log_position(value: float, low: float, high: float) -> int:
+    if value <= 0:
+        return 0
+    span = math.log10(high) - math.log10(low)
+    if span <= 0:
+        return _WIDTH // 2
+    frac = (math.log10(value) - math.log10(low)) / span
+    return max(0, min(_WIDTH - 1, int(round(frac * (_WIDTH - 1)))))
+
+
+def render_chart(
+    result: ExperimentResult,
+    metric: str = "normalized_l2",
+    epsilon: float | None = None,
+) -> str:
+    """A log-scale ASCII chart of one figure's rows.
+
+    Rows with an analytic expectation only (no candle) are drawn as a
+    lone mean marker.
+    """
+    rows = [
+        r
+        for r in result.rows
+        if r.metric == metric and (epsilon is None or r.epsilon == epsilon)
+    ]
+    if not rows:
+        return f"(no rows for metric {metric!r})"
+
+    values: list[float] = []
+    for r in rows:
+        values.append(r.headline())
+        if r.candle is not None:
+            values.extend([r.candle.p25, r.candle.p95])
+    positive = [v for v in values if v > 0]
+    if not positive:
+        return "(all values zero)"
+    low, high = min(positive), max(positive)
+
+    lines = [
+        f"== {result.experiment_id}: {result.title} ==",
+        f"   log10 scale: {low:.1e} .. {high:.1e}  ({metric})",
+    ]
+    for r in rows:
+        bar = [" "] * _WIDTH
+        if r.candle is not None:
+            p25 = _log_position(r.candle.p25, low, high)
+            p95 = _log_position(r.candle.p95, low, high)
+            for i in range(0, p25):
+                bar[i] = _BAR
+            for i in range(p25, p95 + 1):
+                bar[i] = _BAND
+        mean_pos = _log_position(r.headline(), low, high)
+        bar[mean_pos] = _MEAN
+        label = f"{r.method} (k={r.k}, eps={r.epsilon:g})"
+        lines.append(f"{label:<32} |{''.join(bar)}| {r.headline():.2e}")
+    return "\n".join(lines)

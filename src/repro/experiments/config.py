@@ -1,0 +1,55 @@
+"""Experiment scales: quick CI runs vs the paper's full protocol."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.exceptions import ReproError
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Protocol size knobs shared by all experiment drivers.
+
+    Attributes
+    ----------
+    name:
+        Scale label.
+    num_queries:
+        Random k-attribute sets sampled per (k, epsilon) cell (the
+        paper uses 200).
+    num_runs:
+        Noise re-draws averaged per query (the paper uses 5).
+    max_records:
+        Cap on dataset size; ``None`` keeps the full published N.
+    """
+
+    name: str
+    num_queries: int
+    num_runs: int
+    max_records: int | None
+
+
+SCALES = {
+    "quick": ExperimentScale("quick", num_queries=8, num_runs=1, max_records=60_000),
+    "medium": ExperimentScale(
+        "medium", num_queries=40, num_runs=2, max_records=300_000
+    ),
+    "paper": ExperimentScale("paper", num_queries=200, num_runs=5, max_records=None),
+}
+
+#: Environment variable overriding the default scale everywhere.
+SCALE_ENV_VAR = "REPRO_SCALE"
+
+
+def get_scale(scale: str | ExperimentScale | None = None) -> ExperimentScale:
+    """Resolve a scale argument (None -> $REPRO_SCALE -> quick)."""
+    if isinstance(scale, ExperimentScale):
+        return scale
+    name = scale or os.environ.get(SCALE_ENV_VAR, "quick")
+    if name not in SCALES:
+        raise ReproError(
+            f"unknown scale {name!r}; choose from {sorted(SCALES)}"
+        )
+    return SCALES[name]

@@ -1,0 +1,67 @@
+"""Experiment registry: id -> driver, with a uniform run interface."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.exceptions import ReproError
+from repro.experiments import (
+    categorical_ext,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    tables,
+    timing,
+)
+
+
+def _run_timing(scale=None, seed: int = 0) -> str:
+    return timing.render(timing.run(scale=scale, seed=seed))
+
+
+def _render_any(outcome, chart: bool = False) -> str:
+    from repro.experiments.chart import render_chart
+    from repro.experiments.runner import ExperimentResult
+
+    if isinstance(outcome, str):
+        return outcome
+    results = outcome if isinstance(outcome, list) else [outcome]
+    blocks = []
+    for result in results:
+        blocks.append(result.render())
+        if chart and isinstance(result, ExperimentResult):
+            blocks.append(render_chart(result))
+    return "\n\n".join(blocks)
+
+
+EXPERIMENTS: dict[str, Callable] = {
+    "figure1": figure1.run,
+    "figure2": figure2.run,
+    "figure3": figure3.run,
+    "figure4": figure4.run,
+    "figure5": figure5.run,
+    "figure6": figure6.run,
+    "tables": tables.run,
+    "timing": _run_timing,
+    "categorical": categorical_ext.run,
+}
+
+
+def run_experiment(
+    experiment_id: str, scale=None, seed: int = 0, chart: bool = False
+) -> str:
+    """Run one experiment and return its rendered report.
+
+    ``chart=True`` appends a log-scale ASCII chart per figure, the
+    terminal analogue of the paper's candlestick plots.
+    """
+    if experiment_id not in EXPERIMENTS:
+        raise ReproError(
+            f"unknown experiment {experiment_id!r}; "
+            f"choose from {sorted(EXPERIMENTS)}"
+        )
+    outcome = EXPERIMENTS[experiment_id](scale=scale, seed=seed)
+    return _render_any(outcome, chart=chart)

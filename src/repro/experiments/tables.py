@@ -1,0 +1,121 @@
+"""The paper's in-text tables (Sections 3.2, 4.5 and 4.7).
+
+All closed-form — these reproduce exactly, independent of data:
+
+* the Direct-vs-Flat crossover dimensions (Section 3.2);
+* the view-width objective table justifying l=8 (Section 4.5);
+* the Kosarak t-choice table of Equation-5 noise errors (Section 4.5);
+* the cells-per-view guideline for categorical data (Section 4.7).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.crossover import crossover_table
+from repro.analysis.ell_selection import cells_per_view_table, ell_table
+from repro.core.view_selection import priview_noise_error
+from repro.covering.repository import best_design
+from repro.experiments.runner import ExperimentResult, MethodResult
+
+#: The paper's Section 4.5 example parameters (Kosarak).
+KOSARAK_PARAMS = {"num_records": 900_000, "num_attributes": 32, "epsilon": 1.0}
+#: Block counts the paper reads off the La Jolla repository.
+PAPER_BLOCK_COUNTS = {2: 20, 3: 106, 4: 620}
+
+
+def run_crossover() -> ExperimentResult:
+    """Section 3.2: smallest d where Direct's ESE beats Flat's."""
+    result = ExperimentResult(
+        "table-crossover", "Direct beats Flat when d >= (Section 3.2)"
+    )
+    for k, d in crossover_table().items():
+        result.add(
+            MethodResult("Direct>=Flat", k, 0.0, "min_d", None, expected=d)
+        )
+    return result
+
+
+def run_ell_table() -> ExperimentResult:
+    """Section 4.5: the 2**(l/2)/(l(l-1)) objective for l = 5..12."""
+    result = ExperimentResult(
+        "table-ell", "View-width objectives (Section 4.5); minimum near l=8"
+    )
+    for l, (pairs, triples) in ell_table().items():
+        result.add(
+            MethodResult("pairs-objective", l, 0.0, "objective", None, expected=pairs)
+        )
+        result.add(
+            MethodResult(
+                "triples-objective", l, 0.0, "objective", None, expected=triples
+            )
+        )
+    return result
+
+
+def run_t_choice(
+    use_paper_block_counts: bool = True,
+) -> ExperimentResult:
+    """Section 4.5: Kosarak noise error for t in {2, 3, 4}.
+
+    With the paper's block counts this reproduces 0.00047 / 0.0011 /
+    0.0026 exactly; with ``use_paper_block_counts=False`` the w values
+    come from our own constructed designs instead.
+    """
+    result = ExperimentResult(
+        "table-t-choice",
+        "Equation-5 noise error for Kosarak, t in {2,3,4} (Section 4.5)",
+        context=dict(KOSARAK_PARAMS),
+    )
+    for t, paper_w in PAPER_BLOCK_COUNTS.items():
+        w = (
+            paper_w
+            if use_paper_block_counts
+            else best_design(KOSARAK_PARAMS["num_attributes"], 8, t).num_blocks
+        )
+        err = priview_noise_error(
+            KOSARAK_PARAMS["num_records"],
+            KOSARAK_PARAMS["num_attributes"],
+            KOSARAK_PARAMS["epsilon"],
+            8,
+            w,
+        )
+        result.add(
+            MethodResult(
+                f"C_{t}(8,{w})",
+                t,
+                KOSARAK_PARAMS["epsilon"],
+                "noise_error",
+                None,
+                expected=err,
+            )
+        )
+    return result
+
+
+def run_cells_table() -> ExperimentResult:
+    """Section 4.7: recommended cells-per-view for b-valued attributes."""
+    result = ExperimentResult(
+        "table-cells", "Cells-per-view guideline for categorical data (Section 4.7)"
+    )
+    for b, (low, high) in cells_per_view_table().items():
+        result.add(
+            MethodResult(f"b={b}", b, 0.0, "s_low", None, expected=low)
+        )
+        result.add(
+            MethodResult(f"b={b}", b, 0.0, "s_high", None, expected=high)
+        )
+    return result
+
+
+def run(scale=None, seed: int = 0) -> list[ExperimentResult]:
+    """All in-text tables (scale/seed accepted for driver uniformity)."""
+    return [run_crossover(), run_ell_table(), run_t_choice(), run_cells_table()]
+
+
+def main() -> None:
+    for result in run():
+        print(result.render())
+        print()
+
+
+if __name__ == "__main__":
+    main()

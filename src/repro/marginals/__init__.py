@@ -1,0 +1,46 @@
+"""Marginal-table substrate: datasets, marginal tables and projections.
+
+This subpackage implements the data structures the paper's Section 2
+defines: binary datasets over ``d`` attributes, k-way marginal
+contingency tables, and the full contingency table (for small ``d``).
+
+Cell indexing convention
+------------------------
+A marginal table over the sorted attribute tuple ``attrs = (a_0 < a_1 <
+... < a_{m-1})`` stores ``2**m`` cells.  Cell ``i`` corresponds to the
+assignment where attribute ``a_j`` takes the value ``(i >> j) & 1``.
+Every module in this package uses this convention; helpers in
+:mod:`repro.marginals.projection` translate between tables over nested
+attribute sets.
+"""
+
+from repro.marginals.dataset import BinaryDataset
+from repro.marginals.table import MarginalTable
+from repro.marginals.contingency import FullContingencyTable
+from repro.marginals.projection import projection_map, constraint_matrix
+from repro.marginals.queries import (
+    all_attribute_subsets,
+    consecutive_attribute_sets,
+    random_attribute_sets,
+)
+from repro.marginals.analysis_queries import (
+    conditional_probability,
+    count_where,
+    fraction_where,
+    most_common_cells,
+)
+
+__all__ = [
+    "BinaryDataset",
+    "MarginalTable",
+    "FullContingencyTable",
+    "projection_map",
+    "constraint_matrix",
+    "all_attribute_subsets",
+    "consecutive_attribute_sets",
+    "random_attribute_sets",
+    "conditional_probability",
+    "count_where",
+    "fraction_where",
+    "most_common_cells",
+]

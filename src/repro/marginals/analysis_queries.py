@@ -1,0 +1,86 @@
+"""Analyst-style queries over marginal tables.
+
+Marginal tables answer "how many records have this exact assignment",
+but analysts usually ask partial-assignment and conditional questions
+("how many users visited pages 3 and 7?", "what fraction of smokers
+are in age band 2?").  These helpers evaluate such queries against any
+:class:`~repro.marginals.table.MarginalTable` — in particular against
+tables reconstructed from a PriView synopsis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DimensionError
+from repro.marginals.table import MarginalTable, _as_sorted_attrs
+
+
+def _assignment_cell(attrs: tuple[int, ...], assignment: dict[int, int]) -> int:
+    cell = 0
+    for j, attr in enumerate(attrs):
+        value = assignment[attr]
+        if value not in (0, 1):
+            raise DimensionError(
+                f"attribute {attr} assigned non-binary value {value}"
+            )
+        cell |= value << j
+    return cell
+
+
+def count_where(table: MarginalTable, assignment: dict[int, int]) -> float:
+    """Number of records matching a partial assignment.
+
+    ``assignment`` maps attribute index -> 0/1; attributes of the table
+    not mentioned are summed over.  Attributes outside the table raise.
+    """
+    fixed = _as_sorted_attrs(assignment.keys())
+    projected = table.project(fixed)
+    return float(projected.counts[_assignment_cell(projected.attrs, assignment)])
+
+
+def fraction_where(table: MarginalTable, assignment: dict[int, int]) -> float:
+    """``count_where`` normalised by the table total (0 if empty)."""
+    total = table.total()
+    if total <= 0:
+        return 0.0
+    return count_where(table, assignment) / total
+
+
+def conditional_probability(
+    table: MarginalTable,
+    event: dict[int, int],
+    given: dict[int, int],
+) -> float:
+    """``P(event | given)`` estimated from the table.
+
+    Returns ``nan`` when the conditioning event has no mass.  ``event``
+    and ``given`` must not assign the same attribute differently.
+    """
+    overlap = set(event) & set(given)
+    for attr in overlap:
+        if event[attr] != given[attr]:
+            raise DimensionError(
+                f"attribute {attr} assigned inconsistently in event/given"
+            )
+    joint = count_where(table, {**given, **event})
+    base = count_where(table, given)
+    if base <= 0:
+        return float("nan")
+    return joint / base
+
+
+def most_common_cells(
+    table: MarginalTable, top: int = 5
+) -> list[tuple[dict[int, int], float]]:
+    """The ``top`` heaviest cells as (assignment dict, count) pairs."""
+    if top <= 0:
+        raise DimensionError(f"top must be positive, got {top}")
+    order = np.argsort(table.counts)[::-1][:top]
+    out = []
+    for cell in order:
+        assignment = {
+            attr: (int(cell) >> j) & 1 for j, attr in enumerate(table.attrs)
+        }
+        out.append((assignment, float(table.counts[cell])))
+    return out

@@ -1,0 +1,89 @@
+"""Index arithmetic shared by marginal-table operations.
+
+The central object is the *projection map*: for a table over ``m``
+attributes and a sub-table over a subset of those attributes, the map
+sends each of the ``2**m`` parent cells to the sub-table cell it
+contributes to.  Projection is then a weighted bincount over this map,
+and the consistency update of Section 4.4 is a gather through it.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import numpy as np
+
+from repro.exceptions import DimensionError
+
+
+@functools.lru_cache(maxsize=4096)
+def projection_map(m: int, positions: tuple[int, ...]) -> np.ndarray:
+    """Map each cell of an ``m``-attribute table to its projected cell.
+
+    Parameters
+    ----------
+    m:
+        Number of attributes of the parent table.
+    positions:
+        Positions (bit indices, each in ``range(m)``) of the attributes
+        retained by the projection, in the order they appear in the
+        sub-table.
+
+    Returns
+    -------
+    numpy.ndarray
+        An int64 array ``p`` of length ``2**m`` where ``p[i]`` is the
+        index of the sub-table cell that parent cell ``i`` maps to.
+    """
+    if any(pos < 0 or pos >= m for pos in positions):
+        raise DimensionError(
+            f"positions {positions} out of range for an {m}-attribute table"
+        )
+    if len(set(positions)) != len(positions):
+        raise DimensionError(f"positions {positions} contain duplicates")
+    cells = np.arange(1 << m, dtype=np.int64)
+    out = np.zeros(1 << m, dtype=np.int64)
+    for rank, pos in enumerate(positions):
+        out |= ((cells >> pos) & 1) << rank
+    out.setflags(write=False)
+    return out
+
+
+def subset_positions(attrs: tuple[int, ...], sub: tuple[int, ...]) -> tuple[int, ...]:
+    """Positions of ``sub``'s attributes inside the sorted tuple ``attrs``.
+
+    Raises :class:`~repro.exceptions.DimensionError` if ``sub`` is not a
+    subset of ``attrs``.
+    """
+    index = {attr: j for j, attr in enumerate(attrs)}
+    try:
+        return tuple(index[a] for a in sub)
+    except KeyError as exc:
+        raise DimensionError(f"{sub} is not a subset of {attrs}") from exc
+
+
+def constraint_matrix(k: int, positions: tuple[int, ...]) -> np.ndarray:
+    """Dense 0/1 matrix expressing a sub-marginal as sums of parent cells.
+
+    Row ``r`` of the returned ``(2**len(positions), 2**k)`` matrix has a
+    1 in column ``i`` exactly when parent cell ``i`` projects to
+    sub-table cell ``r``.  Used by the LP and least-squares
+    reconstruction solvers, which need explicit linear constraints.
+    """
+    pmap = projection_map(k, positions)
+    rows = 1 << len(positions)
+    mat = np.zeros((rows, 1 << k), dtype=np.float64)
+    mat[pmap, np.arange(1 << k)] = 1.0
+    return mat
+
+
+def cell_neighbours(m: int) -> np.ndarray:
+    """Hamming-distance-1 neighbours of every cell of an ``m``-way table.
+
+    Returns an ``(2**m, m)`` int64 array whose row ``i`` lists the cells
+    obtained from ``i`` by flipping each of the ``m`` bits.  Used by the
+    Ripple non-negativity procedure (Section 4.4).
+    """
+    cells = np.arange(1 << m, dtype=np.int64)[:, None]
+    flips = np.int64(1) << np.arange(m, dtype=np.int64)[None, :]
+    return cells ^ flips

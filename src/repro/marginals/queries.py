@@ -1,0 +1,56 @@
+"""Query-workload helpers: which k-way marginals to ask for.
+
+The paper's evaluation samples 200 random k-subsets of the attributes
+(Section 5, Evaluation Methodology), except for MCHAIN where it uses
+*consecutive* attribute windows so that the queries exercise the Markov
+dependencies (Section 5.5).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.exceptions import DimensionError
+
+
+def all_attribute_subsets(num_attributes: int, k: int) -> list[tuple[int, ...]]:
+    """Every k-subset of ``range(num_attributes)``, sorted tuples."""
+    if not 0 <= k <= num_attributes:
+        raise DimensionError(f"k={k} out of range for d={num_attributes}")
+    return list(itertools.combinations(range(num_attributes), k))
+
+
+def random_attribute_sets(
+    num_attributes: int,
+    k: int,
+    count: int,
+    rng: np.random.Generator | None = None,
+) -> list[tuple[int, ...]]:
+    """``count`` distinct random k-subsets (all of them if fewer exist).
+
+    Mirrors the evaluation protocol: when the number of k-subsets is at
+    most ``count`` the full set is returned, otherwise ``count``
+    distinct subsets are sampled without replacement.
+    """
+    if not 0 < k <= num_attributes:
+        raise DimensionError(f"k={k} out of range for d={num_attributes}")
+    rng = rng or np.random.default_rng()
+    import math
+
+    total = math.comb(num_attributes, k)
+    if total <= count:
+        return all_attribute_subsets(num_attributes, k)
+    chosen: set[tuple[int, ...]] = set()
+    while len(chosen) < count:
+        pick = tuple(sorted(rng.choice(num_attributes, size=k, replace=False)))
+        chosen.add(tuple(int(a) for a in pick))
+    return sorted(chosen)
+
+
+def consecutive_attribute_sets(num_attributes: int, k: int) -> list[tuple[int, ...]]:
+    """All windows ``(i, i+1, ..., i+k-1)`` — the MCHAIN workload."""
+    if not 0 < k <= num_attributes:
+        raise DimensionError(f"k={k} out of range for d={num_attributes}")
+    return [tuple(range(i, i + k)) for i in range(num_attributes - k + 1)]

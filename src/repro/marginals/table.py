@@ -1,0 +1,149 @@
+"""The :class:`MarginalTable` — the paper's ``T_A`` object.
+
+A marginal table over an attribute set ``A`` holds one (possibly noisy,
+possibly negative) real count per assignment of the attributes in
+``A``.  It supports the operations PriView needs:
+
+* ``project`` — the paper's ``T_A[A']`` (Section 4.1, Notation);
+* ``consistency_update`` — the mutual-consistency cell update of
+  Section 4.4;
+* ``normalized`` — the paper's ``norm(T_A)`` used by the JS divergence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import DimensionError
+from repro.marginals.projection import projection_map, subset_positions
+
+
+def _as_sorted_attrs(attrs) -> tuple[int, ...]:
+    out = tuple(sorted(int(a) for a in attrs))
+    if len(set(out)) != len(out):
+        raise DimensionError(f"attribute set {attrs} contains duplicates")
+    return out
+
+
+@dataclass
+class MarginalTable:
+    """A contingency table over a sorted tuple of attribute indices.
+
+    Attributes
+    ----------
+    attrs:
+        The sorted attribute indices the table is over.
+    counts:
+        Float array of length ``2**len(attrs)``; cell ``i`` counts the
+        records where attribute ``attrs[j]`` equals ``(i >> j) & 1``.
+    """
+
+    attrs: tuple[int, ...]
+    counts: np.ndarray = field(repr=False)
+
+    def __post_init__(self) -> None:
+        self.attrs = _as_sorted_attrs(self.attrs)
+        counts = np.asarray(self.counts, dtype=np.float64)
+        if counts.shape != (1 << len(self.attrs),):
+            raise DimensionError(
+                f"counts has shape {counts.shape}, expected "
+                f"({1 << len(self.attrs)},) for attrs {self.attrs}"
+            )
+        self.counts = counts
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def zeros(cls, attrs) -> "MarginalTable":
+        """An all-zero table over ``attrs``."""
+        attrs = _as_sorted_attrs(attrs)
+        return cls(attrs, np.zeros(1 << len(attrs)))
+
+    @classmethod
+    def uniform(cls, attrs, total: float) -> "MarginalTable":
+        """A uniform table over ``attrs`` whose cells sum to ``total``."""
+        attrs = _as_sorted_attrs(attrs)
+        size = 1 << len(attrs)
+        return cls(attrs, np.full(size, total / size))
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def arity(self) -> int:
+        """Number of attributes (the ``k`` of a k-way marginal)."""
+        return len(self.attrs)
+
+    @property
+    def size(self) -> int:
+        """Number of cells, ``2**arity``."""
+        return self.counts.size
+
+    def total(self) -> float:
+        """Sum of all cells — the paper's ``T_A[emptyset]``."""
+        return float(self.counts.sum())
+
+    def copy(self) -> "MarginalTable":
+        """A deep copy (the counts array is copied)."""
+        return MarginalTable(self.attrs, self.counts.copy())
+
+    # ------------------------------------------------------------------
+    # Projection and consistency
+    # ------------------------------------------------------------------
+    def project(self, sub_attrs) -> "MarginalTable":
+        """The marginal over ``sub_attrs`` obtained by summing cells.
+
+        ``sub_attrs`` must be a subset of :attr:`attrs`.  Projecting
+        onto the empty tuple yields a 1-cell table holding the total.
+        """
+        sub = _as_sorted_attrs(sub_attrs)
+        positions = subset_positions(self.attrs, sub)
+        pmap = projection_map(self.arity, positions)
+        counts = np.bincount(pmap, weights=self.counts, minlength=1 << len(sub))
+        return MarginalTable(sub, counts)
+
+    def consistency_update(self, target: "MarginalTable") -> None:
+        """Shift cells so that ``self.project(target.attrs) == target``.
+
+        Implements the Section 4.4 update: every cell ``c`` receives
+        ``(T_A(a) - T_self[A](a)) / 2**(arity - |A|)`` where ``a`` is
+        ``c`` restricted to ``A = target.attrs``.  The projection of
+        ``self`` onto any attribute set disjoint from ``A`` is
+        unchanged (Lemma 1).
+        """
+        positions = subset_positions(self.attrs, target.attrs)
+        pmap = projection_map(self.arity, positions)
+        current = np.bincount(pmap, weights=self.counts, minlength=target.size)
+        delta = (target.counts - current) / float(1 << (self.arity - target.arity))
+        self.counts += delta[pmap]
+
+    # ------------------------------------------------------------------
+    # Normalisation and comparison helpers
+    # ------------------------------------------------------------------
+    def normalized(self) -> np.ndarray:
+        """Cells divided by the total (the paper's ``norm``).
+
+        A table whose total is not positive normalizes to the uniform
+        distribution, matching how the evaluation treats degenerate
+        noisy tables.
+        """
+        total = self.counts.sum()
+        if total <= 0:
+            return np.full(self.size, 1.0 / self.size)
+        return self.counts / total
+
+    def clamped(self, lower: float = 0.0) -> "MarginalTable":
+        """A copy with every cell raised to at least ``lower``."""
+        return MarginalTable(self.attrs, np.maximum(self.counts, lower))
+
+    def allclose(self, other: "MarginalTable", atol: float = 1e-8) -> bool:
+        """True when both tables cover the same attrs with equal cells."""
+        return self.attrs == other.attrs and bool(
+            np.allclose(self.counts, other.counts, atol=atol)
+        )
+
+    def __len__(self) -> int:
+        return self.size

@@ -1,0 +1,26 @@
+"""Differential-privacy mechanisms used throughout the library.
+
+Everything random in this library flows through a
+:class:`numpy.random.Generator`, so experiments are reproducible when a
+seed is supplied.
+"""
+
+from repro.mechanisms.budget import PrivacyBudget
+from repro.mechanisms.laplace import laplace_noise, noisy_counts, noisy_marginal
+from repro.mechanisms.exponential import exponential_mechanism
+from repro.mechanisms.geometric import (
+    geometric_noise,
+    geometric_noisy_counts,
+    geometric_noisy_marginal,
+)
+
+__all__ = [
+    "PrivacyBudget",
+    "laplace_noise",
+    "noisy_counts",
+    "noisy_marginal",
+    "exponential_mechanism",
+    "geometric_noise",
+    "geometric_noisy_counts",
+    "geometric_noisy_marginal",
+]

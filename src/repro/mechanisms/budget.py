@@ -1,0 +1,75 @@
+"""Privacy-budget bookkeeping.
+
+A :class:`PrivacyBudget` tracks sequential composition: the sum of the
+epsilons spent must not exceed the total.  Mechanisms in this library
+accept either a raw float epsilon or draw from a budget, so simple
+callers stay simple while experiment drivers get accounting for free.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import PrivacyBudgetError
+
+
+class PrivacyBudget:
+    """A sequential-composition ε budget.
+
+    Examples
+    --------
+    >>> budget = PrivacyBudget(1.0)
+    >>> budget.spend(0.25)
+    0.25
+    >>> budget.remaining
+    0.75
+    >>> [round(e, 3) for e in budget.split(3)]
+    [0.25, 0.25, 0.25]
+    """
+
+    def __init__(self, epsilon: float):
+        if not (epsilon > 0):
+            raise PrivacyBudgetError(f"total epsilon must be positive, got {epsilon}")
+        self.total = float(epsilon)
+        self._spent = 0.0
+
+    @property
+    def spent(self) -> float:
+        """Total epsilon consumed so far."""
+        return self._spent
+
+    @property
+    def remaining(self) -> float:
+        """Epsilon still available."""
+        return self.total - self._spent
+
+    def spend(self, epsilon: float) -> float:
+        """Consume ``epsilon``; raises if the budget would go negative.
+
+        Returns the amount spent, for call-site convenience.
+        """
+        if epsilon <= 0:
+            raise PrivacyBudgetError(f"cannot spend non-positive epsilon {epsilon}")
+        if math.isinf(self.total):
+            return epsilon
+        if epsilon > self.remaining + 1e-12:
+            raise PrivacyBudgetError(
+                f"budget exhausted: requested {epsilon}, remaining {self.remaining}"
+            )
+        self._spent = min(self.total, self._spent + epsilon)
+        return epsilon
+
+    def split(self, parts: int) -> list[float]:
+        """Divide the *remaining* budget evenly and spend all of it."""
+        if parts <= 0:
+            raise PrivacyBudgetError(f"parts must be positive, got {parts}")
+        if math.isinf(self.total):
+            return [math.inf] * parts
+        share = self.remaining / parts
+        if share <= 0:
+            raise PrivacyBudgetError("budget already exhausted")
+        self._spent = self.total
+        return [share] * parts
+
+    def __repr__(self) -> str:
+        return f"PrivacyBudget(total={self.total}, spent={self._spent})"

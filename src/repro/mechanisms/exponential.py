@@ -1,0 +1,50 @@
+"""The exponential mechanism (McSherry & Talwar, FOCS 2007).
+
+Used by the MWEM baseline to privately select the marginal query whose
+current answer is worst (Section 3.6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import PrivacyBudgetError
+
+
+def exponential_mechanism(
+    scores: np.ndarray,
+    epsilon: float,
+    sensitivity: float = 1.0,
+    rng: np.random.Generator | None = None,
+) -> int:
+    """Sample an index with probability proportional to exp(ε·score/2Δ).
+
+    Parameters
+    ----------
+    scores:
+        Quality score per candidate (higher is better).
+    epsilon:
+        Privacy budget for this selection.  ``inf`` degenerates to
+        argmax.
+    sensitivity:
+        L1 sensitivity of the score function.
+
+    Returns
+    -------
+    int
+        The sampled candidate index.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.size == 0:
+        raise PrivacyBudgetError("exponential mechanism needs at least one candidate")
+    if epsilon <= 0:
+        raise PrivacyBudgetError(f"epsilon must be positive, got {epsilon}")
+    rng = rng or np.random.default_rng()
+    if np.isinf(epsilon):
+        best = np.flatnonzero(scores == scores.max())
+        return int(rng.choice(best))
+    logits = epsilon * scores / (2.0 * sensitivity)
+    logits -= logits.max()  # stabilise the softmax
+    probs = np.exp(logits)
+    probs /= probs.sum()
+    return int(rng.choice(scores.size, p=probs))

@@ -1,0 +1,77 @@
+"""The Laplace mechanism (Dwork et al., TCC 2006).
+
+The paper's Section 2 formulation: to release ``g(D)`` under
+ε-differential privacy, add noise drawn from ``Lap(GS_g / epsilon)``
+where ``GS_g`` is the L1 sensitivity of ``g`` under the add-one-tuple
+neighbouring relation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import PrivacyBudgetError
+from repro.marginals.table import MarginalTable
+
+
+def laplace_noise(
+    scale: float,
+    size,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Sample ``Lap(scale)`` noise of the given shape."""
+    if scale < 0:
+        raise PrivacyBudgetError(f"Laplace scale must be non-negative, got {scale}")
+    rng = rng or np.random.default_rng()
+    if scale == 0:
+        return np.zeros(size)
+    return rng.laplace(loc=0.0, scale=scale, size=size)
+
+
+def noisy_counts(
+    counts: np.ndarray,
+    epsilon: float,
+    sensitivity: float = 1.0,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Counts plus ``Lap(sensitivity / epsilon)`` per entry.
+
+    ``epsilon = inf`` is accepted and returns the counts unchanged
+    (used by the paper's noise-free ``C*`` and ``CME*`` variants).
+    """
+    if epsilon <= 0:
+        raise PrivacyBudgetError(f"epsilon must be positive, got {epsilon}")
+    if np.isinf(epsilon):
+        return np.asarray(counts, dtype=np.float64).copy()
+    scale = sensitivity / epsilon
+    return np.asarray(counts, dtype=np.float64) + laplace_noise(
+        scale, np.shape(counts), rng
+    )
+
+
+def noisy_marginal(
+    table: MarginalTable,
+    epsilon: float,
+    sensitivity: float = 1.0,
+    rng: np.random.Generator | None = None,
+) -> MarginalTable:
+    """A noisy copy of ``table`` under the Laplace mechanism.
+
+    A single tuple contributes a 1 to exactly one cell of a marginal
+    table, so a lone marginal has sensitivity 1; callers releasing
+    ``m`` tables under a shared budget pass ``sensitivity=m`` (or
+    equivalently split epsilon), as in the Direct method and PriView's
+    view generation.
+    """
+    return MarginalTable(
+        table.attrs, noisy_counts(table.counts, epsilon, sensitivity, rng)
+    )
+
+
+def laplace_variance(scale: float) -> float:
+    """Variance of ``Lap(scale)``: ``2 * scale**2``.
+
+    With ``scale = 1/epsilon`` this is the paper's unit ``V_u``
+    (Equation 2).
+    """
+    return 2.0 * scale * scale

@@ -1,0 +1,19 @@
+"""Error measures used by the paper's evaluation (Section 2 & 5)."""
+
+from repro.metrics.l2 import (
+    expected_squared_error,
+    l2_error,
+    normalized_l2_error,
+)
+from repro.metrics.divergence import jensen_shannon, kl_divergence
+from repro.metrics.candlestick import Candlestick, candlestick
+
+__all__ = [
+    "expected_squared_error",
+    "l2_error",
+    "normalized_l2_error",
+    "jensen_shannon",
+    "kl_divergence",
+    "Candlestick",
+    "candlestick",
+]

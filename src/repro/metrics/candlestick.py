@@ -1,0 +1,52 @@
+"""Candlestick summaries — how the paper plots error distributions.
+
+Each candlestick gives the 25th percentile, median, 75th percentile,
+95th percentile and arithmetic mean of a set of per-query errors
+(Section 5, Evaluation Methodology).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import DimensionError
+
+
+@dataclass(frozen=True)
+class Candlestick:
+    """Five-number error profile for one (method, k, epsilon) cell."""
+
+    p25: float
+    median: float
+    p75: float
+    p95: float
+    mean: float
+    count: int
+
+    def as_row(self) -> tuple[float, float, float, float, float]:
+        """The five plotted statistics, in plotting order."""
+        return (self.p25, self.median, self.p75, self.p95, self.mean)
+
+    def __str__(self) -> str:
+        return (
+            f"p25={self.p25:.3e} med={self.median:.3e} p75={self.p75:.3e} "
+            f"p95={self.p95:.3e} mean={self.mean:.3e} (n={self.count})"
+        )
+
+
+def candlestick(errors) -> Candlestick:
+    """Summarise an iterable of per-query errors."""
+    arr = np.asarray(list(errors), dtype=np.float64)
+    if arr.size == 0:
+        raise DimensionError("cannot summarise an empty error list")
+    p25, median, p75, p95 = np.percentile(arr, [25, 50, 75, 95])
+    return Candlestick(
+        p25=float(p25),
+        median=float(median),
+        p75=float(p75),
+        p95=float(p95),
+        mean=float(arr.mean()),
+        count=int(arr.size),
+    )

@@ -1,0 +1,39 @@
+"""L2 error distance and the Expected Squared Error (paper Section 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DimensionError
+from repro.marginals.table import MarginalTable
+
+
+def _paired_counts(
+    estimate: MarginalTable, truth: MarginalTable
+) -> tuple[np.ndarray, np.ndarray]:
+    if estimate.attrs != truth.attrs:
+        raise DimensionError(
+            f"attribute mismatch: {estimate.attrs} vs {truth.attrs}"
+        )
+    return estimate.counts, truth.counts
+
+
+def l2_error(estimate: MarginalTable, truth: MarginalTable) -> float:
+    """Euclidean distance between the tables viewed as 2**k vectors."""
+    a, b = _paired_counts(estimate, truth)
+    return float(np.linalg.norm(a - b))
+
+
+def normalized_l2_error(
+    estimate: MarginalTable, truth: MarginalTable, num_records: float
+) -> float:
+    """L2 error divided by N — the paper's plotted quantity."""
+    if num_records <= 0:
+        raise DimensionError(f"num_records must be positive, got {num_records}")
+    return l2_error(estimate, truth) / float(num_records)
+
+
+def expected_squared_error(estimate: MarginalTable, truth: MarginalTable) -> float:
+    """Sum of squared per-cell errors (one sample of the ESE)."""
+    a, b = _paired_counts(estimate, truth)
+    return float(((a - b) ** 2).sum())

@@ -1,0 +1,28 @@
+"""Graphical-model estimation on top of a PriView synopsis.
+
+The paper's second key insight (Section 1) is that practical
+distributions approximately factor into low-dimensional terms — the
+reason graphical models work.  This subpackage makes that connection
+executable: it fits a Chow-Liu tree (the maximum-likelihood
+tree-structured model) to the synopsis's pairwise marginals and
+answers arbitrary k-way marginals from the *global* model by variable
+elimination.
+
+This is an extension beyond the paper (in the spirit of later work on
+PGM-based private estimation): where per-query maximum entropy uses
+only the views intersecting the query, the tree model propagates
+information through chains of attributes.  On tree-structured data
+(e.g. the order-1 MCHAIN) it reconstructs marginals the covering
+design never saw together; the ablation benchmark compares both.
+"""
+
+from repro.models.factors import Factor
+from repro.models.chow_liu import chow_liu_tree, pairwise_mutual_information
+from repro.models.tree_model import TreeModel
+
+__all__ = [
+    "Factor",
+    "chow_liu_tree",
+    "pairwise_mutual_information",
+    "TreeModel",
+]

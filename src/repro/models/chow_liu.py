@@ -1,0 +1,63 @@
+"""Chow-Liu tree structure learning from a PriView synopsis.
+
+Chow & Liu (1968): the maximum-likelihood tree-structured distribution
+uses the maximum spanning tree of the pairwise mutual-information
+graph.  PriView's synopsis makes this private for free — with a t>=2
+covering design every pairwise marginal is covered by some view, so
+the MI weights are post-processing of already-published tables.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import networkx as nx
+import numpy as np
+
+from repro.core.synopsis import PriViewSynopsis
+from repro.exceptions import ReconstructionError
+
+
+def _mutual_information(joint: np.ndarray) -> float:
+    """MI of a 2x2 joint given as the 4-cell [p00, p10, p01, p11]."""
+    p = np.maximum(np.asarray(joint, dtype=np.float64), 0.0)
+    total = p.sum()
+    if total <= 0:
+        return 0.0
+    p = (p / total).reshape(2, 2)  # [x1][x0] per the bit convention
+    px = p.sum(axis=0)
+    py = p.sum(axis=1)
+    mi = 0.0
+    for i in range(2):
+        for j in range(2):
+            if p[j, i] > 0 and px[i] > 0 and py[j] > 0:
+                mi += p[j, i] * np.log(p[j, i] / (px[i] * py[j]))
+    return max(0.0, float(mi))
+
+
+def pairwise_mutual_information(
+    synopsis: PriViewSynopsis,
+) -> nx.Graph:
+    """Complete graph on the attributes, weighted by pairwise MI.
+
+    Every pair must be covered by some view (true for any t>=2 covering
+    design), otherwise :class:`ReconstructionError` is raised.
+    """
+    d = synopsis.num_attributes
+    graph = nx.Graph()
+    graph.add_nodes_from(range(d))
+    for a, b in itertools.combinations(range(d), 2):
+        if not synopsis.is_covered((a, b)):
+            raise ReconstructionError(
+                f"pair ({a}, {b}) not covered by any view; a t>=2 "
+                "covering design is required for Chow-Liu estimation"
+            )
+        joint = synopsis.marginal((a, b)).counts
+        graph.add_edge(a, b, weight=_mutual_information(joint))
+    return graph
+
+
+def chow_liu_tree(synopsis: PriViewSynopsis) -> nx.Graph:
+    """The maximum-spanning-tree skeleton of the MI graph."""
+    graph = pairwise_mutual_information(synopsis)
+    return nx.maximum_spanning_tree(graph, weight="weight")

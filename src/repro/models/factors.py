@@ -1,0 +1,78 @@
+"""Minimal discrete factors over binary variables.
+
+A :class:`Factor` holds a non-negative table over a sorted tuple of
+binary variables, with the same cell convention as
+:class:`~repro.marginals.table.MarginalTable` (variable ``vars[j]`` is
+bit ``j`` of the cell index).  Supports the two operations variable
+elimination needs: pointwise product and summing a variable out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import DimensionError
+
+
+@dataclass
+class Factor:
+    """A table over binary variables; not necessarily normalised."""
+
+    vars: tuple[int, ...]
+    values: np.ndarray = field(repr=False)
+
+    def __post_init__(self) -> None:
+        self.vars = tuple(int(v) for v in self.vars)
+        if list(self.vars) != sorted(set(self.vars)):
+            raise DimensionError(f"vars must be sorted and unique: {self.vars}")
+        values = np.asarray(self.values, dtype=np.float64)
+        if values.shape != (1 << len(self.vars),):
+            raise DimensionError(
+                f"values has shape {values.shape}, expected "
+                f"({1 << len(self.vars)},)"
+            )
+        self.values = values
+
+    @classmethod
+    def ones(cls, vars) -> "Factor":
+        vars = tuple(sorted(int(v) for v in vars))
+        return cls(vars, np.ones(1 << len(vars)))
+
+    @property
+    def arity(self) -> int:
+        return len(self.vars)
+
+    # ------------------------------------------------------------------
+    def _expand_to(self, union: tuple[int, ...]) -> np.ndarray:
+        """Broadcast this factor's values onto the union variable set."""
+        positions = {v: j for j, v in enumerate(union)}
+        cells = np.arange(1 << len(union), dtype=np.int64)
+        idx = np.zeros(cells.size, dtype=np.int64)
+        for my_bit, v in enumerate(self.vars):
+            idx |= ((cells >> positions[v]) & 1) << my_bit
+        return self.values[idx]
+
+    def product(self, other: "Factor") -> "Factor":
+        """Pointwise product over the union of variables."""
+        union = tuple(sorted(set(self.vars) | set(other.vars)))
+        return Factor(union, self._expand_to(union) * other._expand_to(union))
+
+    def marginalize_out(self, var: int) -> "Factor":
+        """Sum the given variable out of the factor."""
+        if var not in self.vars:
+            raise DimensionError(f"variable {var} not in factor {self.vars}")
+        bit = self.vars.index(var)
+        kept = tuple(v for v in self.vars if v != var)
+        shaped = self.values.reshape([2] * self.arity)
+        # axis order: bit j of the cell index is axis (arity-1-j)
+        summed = shaped.sum(axis=self.arity - 1 - bit)
+        return Factor(kept, summed.reshape(-1))
+
+    def normalized(self) -> "Factor":
+        """Scale values to sum to 1 (uniform if degenerate)."""
+        total = self.values.sum()
+        if total <= 0:
+            return Factor(self.vars, np.full(self.values.size, 1.0 / self.values.size))
+        return Factor(self.vars, self.values / total)

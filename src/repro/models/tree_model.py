@@ -1,0 +1,175 @@
+"""Answering k-way marginals from a tree-structured model.
+
+A tree model over attributes ``0..d-1`` is the distribution
+
+    P(x) = prod_nodes P(x_v) * prod_edges P(x_u, x_v) / (P(x_u) P(x_v)).
+
+A query marginal over ``A`` needs only the Steiner tree spanning ``A``;
+the non-query variables on it are summed out by variable elimination
+in leaf-first order, which on a tree keeps every intermediate factor
+no larger than the query itself plus one variable.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from repro.core.synopsis import PriViewSynopsis
+from repro.exceptions import ReconstructionError
+from repro.marginals.table import MarginalTable, _as_sorted_attrs
+from repro.models.chow_liu import chow_liu_tree
+from repro.models.factors import Factor
+
+
+class TreeModel:
+    """A Chow-Liu-style tree distribution fitted to a synopsis.
+
+    Parameters
+    ----------
+    tree:
+        The tree skeleton (a networkx graph that must be a tree or
+        forest over the attribute indices).
+    edge_factors:
+        For each tree edge ``(u, v)`` with ``u < v``, the joint
+        probability factor over ``(u, v)``.
+    node_factors:
+        Per-attribute marginal probability factor.
+    total:
+        The population count the answers are scaled to.
+    """
+
+    def __init__(
+        self,
+        tree: nx.Graph,
+        edge_factors: dict[tuple[int, int], Factor],
+        node_factors: dict[int, Factor],
+        total: float,
+    ):
+        if len(tree.edges) >= len(tree.nodes):
+            raise ReconstructionError("model graph contains a cycle")
+        self.tree = tree
+        self.edge_factors = edge_factors
+        self.node_factors = node_factors
+        self.total = float(total)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_synopsis(
+        cls,
+        synopsis: PriViewSynopsis,
+        tree: nx.Graph | None = None,
+    ) -> "TreeModel":
+        """Fit parameters from the synopsis (structure too, if absent).
+
+        Pure post-processing of published tables — no privacy cost.
+        """
+        tree = tree if tree is not None else chow_liu_tree(synopsis)
+        edge_factors = {}
+        for u, v in tree.edges:
+            u, v = min(u, v), max(u, v)
+            joint = synopsis.marginal((u, v))
+            edge_factors[(u, v)] = Factor((u, v), joint.counts).normalized()
+        node_factors = {}
+        for node in tree.nodes:
+            marginal = synopsis.marginal((node,))
+            node_factors[node] = Factor((node,), marginal.counts).normalized()
+        return cls(tree, edge_factors, node_factors, synopsis.total_count())
+
+    # ------------------------------------------------------------------
+    def _steiner_nodes(self, attrs: tuple[int, ...]) -> set[int]:
+        """Nodes of the minimal subtree spanning ``attrs``."""
+        if len(attrs) == 1:
+            return {attrs[0]}
+        nodes: set[int] = set()
+        anchor = attrs[0]
+        for other in attrs[1:]:
+            try:
+                path = nx.shortest_path(self.tree, anchor, other)
+            except nx.NetworkXNoPath:
+                # Disconnected components behave independently; handled
+                # by the caller combining product factors.
+                continue
+            nodes.update(path)
+        nodes.update(attrs)
+        return nodes
+
+    def marginal(self, attrs) -> MarginalTable:
+        """The model's marginal over ``attrs``, scaled to the total."""
+        target = _as_sorted_attrs(attrs)
+        if any(a not in self.tree.nodes for a in target):
+            raise ReconstructionError(
+                f"attributes {target} not all present in the model"
+            )
+        components: list[Factor] = []
+        remaining = set(target)
+        while remaining:
+            seed = next(iter(remaining))
+            component_attrs = tuple(
+                sorted(
+                    a
+                    for a in remaining
+                    if nx.has_path(self.tree, seed, a)
+                )
+            )
+            components.append(self._component_marginal(component_attrs))
+            remaining -= set(component_attrs)
+        # Independent components multiply.
+        result = components[0]
+        for factor in components[1:]:
+            result = result.product(factor)
+        counts = result.normalized().values * self.total
+        return MarginalTable(target, counts)
+
+    def _component_marginal(self, attrs: tuple[int, ...]) -> Factor:
+        """Marginal over attrs lying in one connected tree component."""
+        steiner = self._steiner_nodes(attrs)
+        subtree = self.tree.subgraph(steiner)
+        factors: list[Factor] = []
+        for u, v in subtree.edges:
+            u, v = min(u, v), max(u, v)
+            edge = self.edge_factors[(u, v)]
+            # P(u,v) / (P(u) P(v)) with node terms added back once:
+            # assemble as prod edges P(u,v) * prod nodes P(n)^(1-deg n)
+            factors.append(edge)
+        for node in steiner:
+            degree = subtree.degree(node)
+            base = self.node_factors[node]
+            if degree == 0:
+                factors.append(base)
+            else:
+                for _ in range(degree - 1):
+                    factors.append(
+                        Factor(base.vars, 1.0 / np.maximum(base.values, 1e-12))
+                    )
+        # Variable elimination, leaf-first over non-query nodes.
+        order = [
+            n
+            for n in self._leaf_first_order(subtree)
+            if n not in attrs
+        ]
+        for var in order:
+            involved = [f for f in factors if var in f.vars]
+            rest = [f for f in factors if var not in f.vars]
+            merged = involved[0]
+            for f in involved[1:]:
+                merged = merged.product(f)
+            factors = rest + [merged.marginalize_out(var)]
+        result = factors[0]
+        for f in factors[1:]:
+            result = result.product(f)
+        return result
+
+    @staticmethod
+    def _leaf_first_order(subtree: nx.Graph) -> list[int]:
+        """Peel leaves repeatedly: a perfect elimination order."""
+        graph = nx.Graph(subtree)
+        order = []
+        while graph.nodes:
+            leaves = [n for n in graph.nodes if graph.degree(n) <= 1]
+            if not leaves:  # defensive: cannot happen on a tree
+                leaves = list(graph.nodes)[:1]
+            for leaf in leaves:
+                order.append(leaf)
+                graph.remove_node(leaf)
+        return order

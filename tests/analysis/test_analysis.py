@@ -1,0 +1,108 @@
+"""Tests for the closed-form analysis (crossover, ell tables, ESE)."""
+
+import math
+
+import pytest
+
+from repro.analysis.crossover import crossover_table, direct_beats_flat_threshold
+from repro.analysis.ell_selection import (
+    cells_per_view_table,
+    ell_objective_pairs,
+    ell_objective_triples,
+    ell_table,
+    recommended_cells_per_view,
+)
+from repro.analysis.ese import (
+    direct_ese,
+    flat_ese,
+    fourier_ese,
+    priview_views_ese,
+    unit_variance,
+)
+from repro.exceptions import DimensionError
+
+
+class TestCrossover:
+    def test_paper_table_exact(self):
+        """Section 3.2: k=2..5 -> d >= 16, 26, 36, 46."""
+        assert crossover_table() == {2: 16, 3: 26, 4: 36, 5: 46}
+
+    def test_monotone_in_k(self):
+        thresholds = [direct_beats_flat_threshold(k) for k in range(2, 7)]
+        assert thresholds == sorted(thresholds)
+
+    def test_invalid_k(self):
+        with pytest.raises(DimensionError):
+            direct_beats_flat_threshold(0)
+
+
+class TestEllTable:
+    def test_paper_values(self):
+        """Spot-check against the Section 4.5 table."""
+        table = ell_table()
+        assert table[5][0] == pytest.approx(0.283, abs=2e-3)
+        assert table[6][0] == pytest.approx(0.267, abs=2e-3)
+        assert table[8][0] == pytest.approx(0.286, abs=2e-3)
+        assert table[8][1] == pytest.approx(0.048, abs=2e-3)
+        assert table[10][1] == pytest.approx(0.044, abs=2e-3)
+
+    def test_pairs_minimum_near_six(self):
+        objective = {l: ell_objective_pairs(l) for l in range(4, 14)}
+        best = min(objective, key=objective.get)
+        assert best in (6, 7)
+
+    def test_triples_minimum_near_ten(self):
+        objective = {l: ell_objective_triples(l) for l in range(4, 14)}
+        best = min(objective, key=objective.get)
+        assert best in (9, 10, 11)
+
+    def test_invalid_ell(self):
+        with pytest.raises(DimensionError):
+            ell_objective_pairs(1)
+        with pytest.raises(DimensionError):
+            ell_objective_triples(2)
+
+
+class TestCellsPerView:
+    def test_band_grows_with_arity(self):
+        table = cells_per_view_table()
+        lows = [table[b][0] for b in (2, 3, 4, 5)]
+        highs = [table[b][1] for b in (2, 3, 4, 5)]
+        assert highs == sorted(highs)
+        assert all(low < high for low, high in zip(lows, highs))
+
+    def test_binary_band_contains_256(self):
+        """2**8 cells (the paper's l=8) must be in the b=2 band."""
+        low, high = recommended_cells_per_view(2)
+        assert low <= 256 <= high
+
+    def test_invalid_base(self):
+        with pytest.raises(DimensionError):
+            recommended_cells_per_view(1)
+
+
+class TestESE:
+    def test_unit_variance(self):
+        assert unit_variance(1.0) == 2.0
+        assert unit_variance(0.1) == pytest.approx(200.0)
+
+    def test_flat(self):
+        assert flat_ese(16) == 2**16 * 2.0
+
+    def test_direct(self):
+        assert direct_ese(16, 2) == 4 * math.comb(16, 2) ** 2 * 2.0
+
+    def test_fourier_below_direct(self):
+        assert fourier_ese(16, 3) < direct_ese(16, 3)
+
+    def test_priview_middle_ground_example(self):
+        """The Section 4.1 d=16, k=2 worked example: reconstructing a
+        pair from one of six 8-way views costs 2^2 * 6^2 * 2^6 =
+        9216 V_u, far below Flat's 2^16 V_u and Direct's
+        2^2 * C(16,2)^2 V_u."""
+        pair_from_view = (2**2) * (6**2) * (2**6) * unit_variance(1.0)
+        # Summing the view's 2^8 cells into the pair's 4 groups leaves
+        # the total variance unchanged: same number as the full view.
+        assert pair_from_view == priview_views_ese(8, 6)
+        assert pair_from_view < flat_ese(16)
+        assert pair_from_view < direct_ese(16, 2)

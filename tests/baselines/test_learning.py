@@ -1,0 +1,71 @@
+"""Tests for the learning-based baseline (Section 3.7)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.learning import LearningMethod, degree_for_gamma
+
+
+class TestDegreeRule:
+    def test_monotone_in_one_over_gamma(self):
+        degrees = [degree_for_gamma(6, g) for g in (0.5, 0.25, 0.125)]
+        assert degrees == sorted(degrees)
+
+    def test_clamped_to_k(self):
+        assert degree_for_gamma(2, 1e-9) == 2
+
+    def test_at_least_one(self):
+        assert degree_for_gamma(4, 0.99) == 1
+
+
+class TestLearningMethod:
+    def test_full_degree_equals_fourier(self, tiny_dataset):
+        """With degree k, truncation vanishes: exact without noise."""
+        mech = LearningMethod(float("inf"), 2, gamma=1e-6, seed=0).fit(
+            tiny_dataset
+        )
+        assert mech.degree == 2
+        assert np.allclose(
+            mech.marginal((0, 1)).counts, tiny_dataset.marginal((0, 1)).counts
+        )
+
+    def test_truncation_error_without_noise(self, small_dataset):
+        """Low degree leaves approximation error even with eps=inf —
+        the paper's green-star observation."""
+        mech = LearningMethod(float("inf"), 4, gamma=0.5, seed=0).fit(
+            small_dataset
+        )
+        assert mech.degree < 4
+        est = mech.marginal((0, 1, 2, 3))
+        truth = small_dataset.marginal((0, 1, 2, 3))
+        assert not np.allclose(est.counts, truth.counts, atol=1.0)
+
+    def test_smaller_gamma_less_approximation_error(self, small_dataset):
+        errs = []
+        for gamma in (0.5, 0.125):
+            mech = LearningMethod(
+                float("inf"), 4, gamma=gamma, seed=0
+            ).fit(small_dataset)
+            truth = small_dataset.marginal((0, 1, 2, 3))
+            est = mech.marginal((0, 1, 2, 3))
+            errs.append(np.linalg.norm(est.counts - truth.counts))
+        assert errs[1] <= errs[0]
+
+    def test_total_preserved_by_truncation(self, small_dataset):
+        """Weight-0 coefficient survives truncation: totals match."""
+        mech = LearningMethod(float("inf"), 4, gamma=0.5, seed=0).fit(
+            small_dataset
+        )
+        est = mech.marginal((0, 1, 2, 3))
+        assert est.total() == pytest.approx(small_dataset.num_records)
+
+    def test_noisy_variant_runs(self, tiny_dataset):
+        mech = LearningMethod(1.0, 3, gamma=0.25, seed=0).fit(tiny_dataset)
+        table = mech.marginal((0, 1, 2))
+        assert np.all(np.isfinite(table.counts))
+
+    def test_query_cached(self, tiny_dataset):
+        mech = LearningMethod(1.0, 2, gamma=0.5, seed=0).fit(tiny_dataset)
+        a = mech.marginal((0, 1))
+        b = mech.marginal((0, 1))
+        assert np.array_equal(a.counts, b.counts)

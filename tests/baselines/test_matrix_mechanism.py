@@ -1,0 +1,91 @@
+"""Tests for the matrix mechanism (Section 3.5)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines.matrix_mechanism import (
+    MatrixMechanism,
+    expected_per_marginal_ese,
+    expected_total_squared_error,
+    marginal_workload_matrix,
+    strategy_matrix,
+)
+from repro.exceptions import ReconstructionError
+
+
+class TestWorkloadMatrix:
+    def test_shape(self):
+        w = marginal_workload_matrix(4, 2)
+        assert w.shape == (math.comb(4, 2) * 4, 16)
+
+    def test_rows_are_marginal_cells(self, tiny_dataset):
+        from repro.marginals.contingency import FullContingencyTable
+
+        w = marginal_workload_matrix(6, 2)
+        full = FullContingencyTable.from_dataset(tiny_dataset)
+        answers = w @ full.counts
+        # first block of rows = marginal over attrs (0,1)
+        assert np.allclose(
+            answers[:4], tiny_dataset.marginal((0, 1)).counts
+        )
+
+    def test_binary_entries(self):
+        w = marginal_workload_matrix(3, 2)
+        assert set(np.unique(w)) <= {0.0, 1.0}
+
+
+class TestStrategies:
+    def test_identity_error_equals_flat(self):
+        """Strategy = identity reproduces the Flat method's ESE."""
+        d, k = 4, 2
+        w = marginal_workload_matrix(d, k)
+        a = strategy_matrix("identity", d, k, w)
+        total = expected_total_squared_error(w, a, 1.0)
+        per_marginal = total / math.comb(d, k)
+        assert per_marginal == pytest.approx(2.0 * 2**d)
+
+    def test_workload_strategy_at_most_direct(self):
+        """Measuring the workload itself: the pseudo-inverse averages
+        duplicated information, so it cannot exceed Direct's ESE."""
+        from repro.baselines.direct import direct_expected_squared_error
+
+        d, k = 4, 2
+        w = marginal_workload_matrix(d, k)
+        a = strategy_matrix("workload", d, k, w)
+        per_marginal = expected_total_squared_error(w, a, 1.0) / math.comb(d, k)
+        assert per_marginal <= direct_expected_squared_error(d, k, 1.0) * 1.01
+
+    def test_eigen_between_flat_and_direct_for_d9(self):
+        """The Figure 1 observation."""
+        from repro.baselines.direct import direct_expected_squared_error
+        from repro.baselines.flat import flat_expected_squared_error
+
+        d, k = 9, 2
+        eigen = expected_per_marginal_ese(d, k, 1.0, strategy="eigen")
+        assert eigen < direct_expected_squared_error(d, k, 1.0)
+        assert eigen > 0
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ReconstructionError):
+            strategy_matrix("magic", 3, 2)
+
+
+class TestMechanism:
+    def test_noise_free_exact(self, tiny_dataset):
+        mech = MatrixMechanism(
+            float("inf"), 2, strategy="identity", seed=0
+        ).fit(tiny_dataset)
+        assert np.allclose(
+            mech.marginal((0, 1)).counts,
+            tiny_dataset.marginal((0, 1)).counts,
+            atol=1e-6,
+        )
+
+    def test_noisy_release_finite(self, tiny_dataset):
+        mech = MatrixMechanism(1.0, 2, strategy="eigen", seed=0).fit(
+            tiny_dataset
+        )
+        table = mech.marginal((2, 4))
+        assert np.all(np.isfinite(table.counts))

@@ -1,0 +1,103 @@
+"""Tests for categorical tables and datasets."""
+
+import numpy as np
+import pytest
+
+from repro.categorical.dataset import CategoricalDataset
+from repro.categorical.table import CategoricalMarginalTable
+from repro.exceptions import DimensionError
+
+
+@pytest.fixture
+def cat_dataset(rng) -> CategoricalDataset:
+    return CategoricalDataset.random(3000, (3, 4, 2, 5), rng=rng)
+
+
+class TestTable:
+    def test_sorted_attrs_keep_arity_alignment(self):
+        table = CategoricalMarginalTable((5, 2), (3, 4), np.zeros(12))
+        assert table.attrs == (2, 5)
+        assert table.arities == (4, 3)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(DimensionError):
+            CategoricalMarginalTable((0, 1), (3, 2), np.zeros(5))
+
+    def test_rejects_unary_attribute(self):
+        with pytest.raises(DimensionError):
+            CategoricalMarginalTable((0,), (1,), np.zeros(1))
+
+    def test_projection_preserves_total(self, rng):
+        table = CategoricalMarginalTable(
+            (0, 1, 2), (3, 2, 4), rng.random(24)
+        )
+        for sub in [(0,), (1, 2), ()]:
+            assert table.project(sub).total() == pytest.approx(table.total())
+
+    def test_projection_composes(self, rng):
+        table = CategoricalMarginalTable(
+            (0, 1, 2), (3, 2, 4), rng.random(24)
+        )
+        direct = table.project((2,))
+        via = table.project((1, 2)).project((2,))
+        assert np.allclose(direct.counts, via.counts)
+
+    def test_consistency_update_reaches_target(self, rng):
+        table = CategoricalMarginalTable(
+            (0, 1), (3, 4), rng.random(12) * 10
+        )
+        target = CategoricalMarginalTable((0,), (3,), np.array([5.0, 3.0, 2.0]))
+        table.consistency_update(target)
+        assert np.allclose(table.project((0,)).counts, target.counts)
+
+    def test_consistency_update_lemma1(self, rng):
+        """Total-preserving update on one attr leaves the other."""
+        table = CategoricalMarginalTable(
+            (0, 1), (3, 4), rng.random(12) * 10
+        )
+        current = table.project((0,)).counts
+        perturbation = np.array([1.0, -0.5, -0.5])
+        target = CategoricalMarginalTable((0,), (3,), current + perturbation)
+        before = table.project((1,)).counts.copy()
+        table.consistency_update(target)
+        assert np.allclose(table.project((1,)).counts, before)
+
+    def test_uniform_and_normalized(self):
+        table = CategoricalMarginalTable.uniform((0, 1), (3, 2), 60.0)
+        assert np.allclose(table.counts, 10.0)
+        assert table.normalized().sum() == pytest.approx(1.0)
+
+
+class TestDataset:
+    def test_shape(self, cat_dataset):
+        assert cat_dataset.num_records == 3000
+        assert cat_dataset.num_attributes == 4
+
+    def test_rejects_out_of_range_values(self):
+        with pytest.raises(DimensionError):
+            CategoricalDataset(np.array([[3]]), (3,))
+
+    def test_rejects_mismatched_arities(self):
+        with pytest.raises(DimensionError):
+            CategoricalDataset(np.zeros((2, 3), dtype=int), (3, 2))
+
+    def test_marginal_total(self, cat_dataset):
+        assert cat_dataset.marginal((0, 2)).total() == 3000.0
+
+    def test_marginal_matches_manual(self):
+        data = np.array([[0, 1], [2, 0], [2, 1], [2, 1]])
+        ds = CategoricalDataset(data, (3, 2))
+        table = ds.marginal((0, 1))
+        # cell = a0 + 3*a1
+        assert table.counts[2] == 1  # (2, 0)
+        assert table.counts[3] == 1  # (0, 1)
+        assert table.counts[5] == 2  # (2, 1)
+
+    def test_marginal_projection_consistency(self, cat_dataset):
+        big = cat_dataset.marginal((0, 1, 3))
+        small = cat_dataset.marginal((1, 3))
+        assert np.allclose(big.project((1, 3)).counts, small.counts)
+
+    def test_data_read_only(self, cat_dataset):
+        with pytest.raises(ValueError):
+            cat_dataset.data[0, 0] = 1

@@ -1,0 +1,38 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.covering.design import CoveringDesign
+from repro.marginals.dataset import BinaryDataset
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_dataset(rng) -> BinaryDataset:
+    """Correlated N=4000, d=10 dataset (mixture of three profiles)."""
+    n, d = 4000, 10
+    types = rng.integers(0, 3, n)
+    profiles = rng.random((3, d)) * 0.7
+    data = (rng.random((n, d)) < profiles[types]).astype(np.uint8)
+    return BinaryDataset(data, name="small")
+
+
+@pytest.fixture
+def tiny_dataset(rng) -> BinaryDataset:
+    """N=500, d=6 — cheap enough for exhaustive checks."""
+    return BinaryDataset.random(500, 6, density=0.4, rng=rng, name="tiny")
+
+
+@pytest.fixture
+def chain_design() -> CoveringDesign:
+    """Three overlapping 4-blocks covering d=8 with a chain structure."""
+    return CoveringDesign(
+        8, 4, 1, ((0, 1, 2, 3), (2, 3, 4, 5), (4, 5, 6, 7))
+    )

@@ -1,0 +1,151 @@
+"""Tests for the overall-consistency procedure (Section 4.4)."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.consistency import (
+    intersection_closure,
+    make_consistent,
+    mutual_consistency,
+)
+from repro.marginals.table import MarginalTable
+
+
+class TestIntersectionClosure:
+    def test_pairwise_intersections_present(self):
+        closure = intersection_closure([(0, 1, 2), (1, 2, 3), (2, 3, 4)])
+        assert (1, 2) in closure
+        assert (2, 3) in closure
+        assert (2,) in closure  # intersection of all three
+
+    def test_empty_set_first(self):
+        closure = intersection_closure([(0, 1), (2, 3)])
+        assert closure[0] == ()
+
+    def test_sorted_by_size(self):
+        closure = intersection_closure([(0, 1, 2, 3), (2, 3, 4, 5), (3, 4, 5, 6)])
+        sizes = [len(s) for s in closure]
+        assert sizes == sorted(sizes)
+
+    def test_views_themselves_excluded(self):
+        closure = intersection_closure([(0, 1), (1, 2)])
+        assert (0, 1) not in closure
+        assert (1, 2) not in closure
+
+    def test_duplicated_view_included(self):
+        """Identical views must still be reconciled with each other."""
+        closure = intersection_closure([(0, 1), (0, 1)])
+        assert (0, 1) in closure
+
+    def test_disjoint_views(self):
+        closure = intersection_closure([(0, 1), (2, 3)])
+        assert closure == [()]
+
+    def test_closure_under_intersection(self):
+        views = [(0, 1, 2, 3), (1, 2, 3, 4), (0, 2, 3, 4), (2, 3, 4, 5)]
+        closure = set(intersection_closure(views)) | set(views)
+        for a, b in itertools.combinations(closure, 2):
+            inter = tuple(sorted(set(a) & set(b)))
+            assert inter in closure
+
+
+class TestMutualConsistency:
+    def test_two_tables_agree_after(self, rng):
+        t1 = MarginalTable((0, 1), rng.random(4) * 10)
+        t2 = MarginalTable((1, 2), rng.random(4) * 10)
+        mutual_consistency([t1, t2], (1,))
+        assert np.allclose(t1.project((1,)).counts, t2.project((1,)).counts)
+
+    def test_single_table_noop(self, rng):
+        t1 = MarginalTable((0, 1), rng.random(4))
+        before = t1.counts.copy()
+        mutual_consistency([t1], (1,))
+        assert np.array_equal(t1.counts, before)
+
+    def test_result_is_average(self, rng):
+        t1 = MarginalTable((0, 1), rng.random(4) * 10)
+        t2 = MarginalTable((1, 2), rng.random(4) * 10)
+        expected = (t1.project((1,)).counts + t2.project((1,)).counts) / 2
+        mutual_consistency([t1, t2], (1,))
+        assert np.allclose(t1.project((1,)).counts, expected)
+
+
+class TestMakeConsistent:
+    def _noisy_views(self, dataset, blocks, rng, scale=30.0):
+        views = []
+        for block in blocks:
+            table = dataset.marginal(block)
+            table.counts = table.counts + rng.laplace(scale=scale, size=table.size)
+            views.append(table)
+        return views
+
+    def test_all_pairs_consistent(self, small_dataset, rng):
+        blocks = [(0, 1, 2, 3), (2, 3, 4, 5), (4, 5, 6, 7), (0, 3, 6, 9)]
+        views = self._noisy_views(small_dataset, blocks, rng)
+        make_consistent(views)
+        for a, b in itertools.combinations(views, 2):
+            shared = tuple(sorted(set(a.attrs) & set(b.attrs)))
+            assert np.allclose(
+                a.project(shared).counts, b.project(shared).counts, atol=1e-6
+            )
+
+    def test_totals_equalised(self, small_dataset, rng):
+        blocks = [(0, 1), (2, 3), (4, 5)]
+        views = self._noisy_views(small_dataset, blocks, rng)
+        make_consistent(views)
+        totals = [v.total() for v in views]
+        assert np.allclose(totals, totals[0])
+
+    def test_consistency_improves_accuracy(self, small_dataset):
+        """Averaging across overlapping noisy views reduces error."""
+        blocks = [(0, 1, 2), (0, 1, 3), (0, 1, 4), (0, 1, 5)]
+        rng_pool = [np.random.default_rng(s) for s in range(30)]
+        err_before, err_after = [], []
+        true = small_dataset.marginal((0, 1)).counts
+        for rng in rng_pool:
+            views = self._noisy_views(small_dataset, blocks, rng, scale=50.0)
+            err_before.append(
+                np.linalg.norm(views[0].project((0, 1)).counts - true)
+            )
+            make_consistent(views)
+            err_after.append(
+                np.linalg.norm(views[0].project((0, 1)).counts - true)
+            )
+        assert np.mean(err_after) < np.mean(err_before)
+
+    def test_exact_views_unchanged(self, small_dataset):
+        """Noise-free views are already consistent: a fixpoint."""
+        blocks = [(0, 1, 2), (1, 2, 3)]
+        views = [small_dataset.marginal(b) for b in blocks]
+        originals = [v.counts.copy() for v in views]
+        make_consistent(views)
+        for view, original in zip(views, originals):
+            assert np.allclose(view.counts, original, atol=1e-9)
+
+    def test_idempotent(self, small_dataset, rng):
+        blocks = [(0, 1, 2), (1, 2, 3), (0, 2, 4)]
+        views = self._noisy_views(small_dataset, blocks, rng)
+        make_consistent(views)
+        snapshot = [v.counts.copy() for v in views]
+        make_consistent(views)
+        for view, snap in zip(views, snapshot):
+            assert np.allclose(view.counts, snap, atol=1e-8)
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_consistency_invariant_random_views(self, seed):
+        rng = np.random.default_rng(seed)
+        attrs_pool = [(0, 1, 2), (1, 2, 3), (2, 3, 4), (0, 2, 4)]
+        views = [
+            MarginalTable(a, rng.random(8) * 20 - 5) for a in attrs_pool
+        ]
+        make_consistent(views)
+        for a, b in itertools.combinations(views, 2):
+            shared = tuple(sorted(set(a.attrs) & set(b.attrs)))
+            assert np.allclose(
+                a.project(shared).counts, b.project(shared).counts, atol=1e-6
+            )

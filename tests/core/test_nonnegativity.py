@@ -1,0 +1,126 @@
+"""Tests for the Ripple / Simple / Global non-negativity procedures."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.nonnegativity import (
+    apply_nonnegativity,
+    global_redistribute,
+    ripple,
+    simple_clamp,
+)
+from repro.exceptions import ReconstructionError
+from repro.marginals.table import MarginalTable
+
+
+class TestRipple:
+    def test_preserves_total(self, rng):
+        counts = rng.laplace(scale=10, size=16) + 5
+        table = MarginalTable((0, 1, 2, 3), counts.copy())
+        ripple(table, theta=0.5)
+        assert table.total() == pytest.approx(counts.sum(), abs=1e-8)
+
+    def test_no_cell_below_minus_theta(self, rng):
+        theta = 0.5
+        table = MarginalTable((0, 1, 2), rng.laplace(scale=20, size=8) + 15)
+        ripple(table, theta=theta)
+        assert table.counts.min() >= -theta - 1e-9
+
+    def test_nonpositive_total_zeroed(self):
+        """A table with no positive mass carries no counts: zeroed."""
+        table = MarginalTable((0, 1), np.array([-5.0, -1.0, 2.0, -4.0]))
+        ripple(table, theta=0.5)
+        assert np.array_equal(table.counts, np.zeros(4))
+
+    def test_nonnegative_table_untouched(self):
+        table = MarginalTable((0, 1), np.array([1.0, 2.0, 3.0, 4.0]))
+        passes = ripple(table)
+        assert passes == 0
+        assert np.array_equal(table.counts, [1.0, 2.0, 3.0, 4.0])
+
+    def test_single_negative_spreads_to_neighbours(self):
+        table = MarginalTable((0, 1), np.array([-8.0, 10.0, 10.0, 10.0]))
+        ripple(table, theta=1.0)
+        # cell 0 zeroed; neighbours (1 and 2) each absorb -4
+        assert table.counts[0] == 0.0
+        assert table.counts[1] == pytest.approx(6.0)
+        assert table.counts[2] == pytest.approx(6.0)
+        assert table.counts[3] == pytest.approx(10.0)
+
+    def test_theta_must_be_positive(self):
+        table = MarginalTable((0,), np.array([-1.0, 2.0]))
+        with pytest.raises(ReconstructionError):
+            ripple(table, theta=0.0)
+
+    def test_zero_arity_table(self):
+        table = MarginalTable((), np.array([-5.0]))
+        assert ripple(table) == 0
+
+    @given(
+        seed=st.integers(0, 10_000),
+        theta=st.floats(0.1, 5.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_invariants_random(self, seed, theta):
+        rng = np.random.default_rng(seed)
+        counts = rng.laplace(scale=15, size=32) + 10  # positive total
+        if counts.sum() <= 0:
+            counts += 1 - counts.sum() / counts.size
+        table = MarginalTable((0, 1, 2, 3, 4), counts.copy())
+        ripple(table, theta=theta)
+        assert table.total() == pytest.approx(counts.sum(), abs=1e-6)
+        assert table.counts.min() >= -theta - 1e-9
+
+
+class TestSimpleClamp:
+    def test_clamps(self):
+        table = MarginalTable((0,), np.array([-3.0, 5.0]))
+        simple_clamp(table)
+        assert np.array_equal(table.counts, [0.0, 5.0])
+
+    def test_biases_total_upward(self):
+        """The systematic bias the paper warns about."""
+        table = MarginalTable((0,), np.array([-3.0, 5.0]))
+        simple_clamp(table)
+        assert table.total() > 2.0
+
+
+class TestGlobalRedistribute:
+    def test_preserves_total_when_positive_mass(self):
+        counts = np.array([-4.0, 10.0, 6.0, 2.0])
+        table = MarginalTable((0, 1), counts.copy())
+        global_redistribute(table)
+        assert table.total() == pytest.approx(counts.sum())
+        assert table.counts.min() >= 0.0
+
+    def test_everything_negative(self):
+        table = MarginalTable((0,), np.array([-1.0, -2.0]))
+        global_redistribute(table)
+        assert np.array_equal(table.counts, [0.0, 0.0])
+
+    def test_iterates_cascading_negatives(self, rng):
+        counts = rng.laplace(scale=10, size=64)
+        table = MarginalTable(tuple(range(6)), counts.copy())
+        global_redistribute(table)
+        assert table.counts.min() >= -1e-9
+
+
+class TestDispatch:
+    def test_none_is_noop(self):
+        table = MarginalTable((0,), np.array([-1.0, 2.0]))
+        apply_nonnegativity(table, "none")
+        assert np.array_equal(table.counts, [-1.0, 2.0])
+
+    @pytest.mark.parametrize("method", ["simple", "global", "ripple"])
+    def test_all_methods_remove_deep_negatives(self, method, rng):
+        table = MarginalTable((0, 1, 2), rng.laplace(scale=10, size=8) + 8)
+        apply_nonnegativity(table, method, theta=0.5)
+        threshold = -0.5 if method == "ripple" else 0.0
+        assert table.counts.min() >= threshold - 1e-9
+
+    def test_unknown_method(self):
+        table = MarginalTable((0,), np.zeros(2))
+        with pytest.raises(ReconstructionError):
+            apply_nonnegativity(table, "magic")

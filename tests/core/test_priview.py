@@ -1,0 +1,175 @@
+"""End-to-end tests for the PriView mechanism and synopsis."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.priview import PriView
+from repro.covering.design import CoveringDesign
+from repro.covering.repository import best_design
+from repro.exceptions import PrivacyBudgetError
+from repro.metrics.l2 import normalized_l2_error
+
+
+@pytest.fixture
+def design10() -> CoveringDesign:
+    """A small t=2 design over d=10 with blocks of 4."""
+    return CoveringDesign(
+        10,
+        4,
+        2,
+        (
+            (0, 1, 2, 3),
+            (4, 5, 6, 7),
+            (0, 4, 8, 9),
+            (1, 5, 8, 9),
+            (2, 6, 8, 9),
+            (3, 7, 8, 9),
+            (0, 5, 2, 7),
+            (1, 4, 3, 6),
+            (0, 6, 1, 7),
+            (2, 4, 3, 5),
+        ),
+    )
+
+
+class TestFit:
+    def test_synopsis_structure(self, small_dataset, design10):
+        synopsis = PriView(1.0, design=design10, seed=0).fit(small_dataset)
+        assert synopsis.num_views == design10.num_blocks
+        assert synopsis.num_attributes == 10
+        assert synopsis.epsilon == 1.0
+        assert "C_2" in repr(synopsis)
+
+    def test_views_are_consistent(self, small_dataset, design10):
+        synopsis = PriView(1.0, design=design10, seed=0).fit(small_dataset)
+        for a, b in itertools.combinations(synopsis.views, 2):
+            shared = tuple(sorted(set(a.attrs) & set(b.attrs)))
+            assert np.allclose(
+                a.project(shared).counts, b.project(shared).counts, atol=1e-6
+            )
+
+    def test_views_nonnegative_up_to_theta(self, small_dataset, design10):
+        synopsis = PriView(
+            0.5, design=design10, seed=1, theta=1.0
+        ).fit(small_dataset)
+        # the trailing consistency pass may reintroduce tiny negatives
+        for view in synopsis.views:
+            assert view.counts.min() > -50.0
+
+    def test_total_close_to_n(self, small_dataset, design10):
+        synopsis = PriView(1.0, design=design10, seed=0).fit(small_dataset)
+        assert synopsis.total_count() == pytest.approx(
+            small_dataset.num_records, rel=0.05
+        )
+
+    def test_noise_free_views_exact(self, small_dataset, design10):
+        synopsis = PriView(float("inf"), design=design10, seed=0).fit(
+            small_dataset
+        )
+        for view, block in zip(synopsis.views, design10.blocks):
+            assert np.allclose(
+                view.counts, small_dataset.marginal(block).counts, atol=1e-6
+            )
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(PrivacyBudgetError):
+            PriView(0.0)
+
+    def test_automatic_design_selection(self, small_dataset):
+        synopsis = PriView(1.0, view_width=4, seed=0).fit(small_dataset)
+        assert synopsis.design.block_size <= 4
+        synopsis.design.validate()
+
+    def test_seed_reproducibility(self, small_dataset, design10):
+        s1 = PriView(1.0, design=design10, seed=42).fit(small_dataset)
+        s2 = PriView(1.0, design=design10, seed=42).fit(small_dataset)
+        for v1, v2 in zip(s1.views, s2.views):
+            assert np.array_equal(v1.counts, v2.counts)
+
+
+class TestQueries:
+    def test_covered_marginal_accuracy(self, small_dataset, design10):
+        synopsis = PriView(2.0, design=design10, seed=0).fit(small_dataset)
+        truth = small_dataset.marginal((0, 1, 2))
+        estimate = synopsis.marginal((0, 1, 2))
+        err = normalized_l2_error(estimate, truth, small_dataset.num_records)
+        assert err < 0.05
+
+    def test_uncovered_marginal_reasonable(self, small_dataset, design10):
+        synopsis = PriView(2.0, design=design10, seed=0).fit(small_dataset)
+        attrs = (0, 1, 4, 8)
+        assert not synopsis.is_covered(attrs)
+        truth = small_dataset.marginal(attrs)
+        estimate = synopsis.marginal(attrs)
+        uniform_err = normalized_l2_error(
+            truth, truth.__class__.uniform(attrs, truth.total()),
+            small_dataset.num_records,
+        )
+        err = normalized_l2_error(estimate, truth, small_dataset.num_records)
+        assert err < uniform_err  # beats knowing nothing
+
+    def test_beats_direct_method(self, small_dataset, design10):
+        """The headline claim, on a small instance."""
+        from repro.baselines.direct import DirectMethod
+
+        k, eps = 4, 0.5
+        queries = list(itertools.combinations(range(10), k))[:15]
+        synopsis = PriView(eps, design=design10, seed=3).fit(small_dataset)
+        direct = DirectMethod(eps, k, seed=3).fit(small_dataset)
+        n = small_dataset.num_records
+        pv_err = np.mean(
+            [
+                normalized_l2_error(
+                    synopsis.marginal(q), small_dataset.marginal(q), n
+                )
+                for q in queries
+            ]
+        )
+        d_err = np.mean(
+            [
+                normalized_l2_error(
+                    direct.marginal(q), small_dataset.marginal(q), n
+                )
+                for q in queries
+            ]
+        )
+        assert pv_err < d_err
+
+    def test_any_k_from_one_synopsis(self, small_dataset, design10):
+        """The no-commitment-to-k property highlighted in Section 1."""
+        synopsis = PriView(1.0, design=design10, seed=0).fit(small_dataset)
+        for k in (1, 2, 3, 5):
+            attrs = tuple(range(k))
+            table = synopsis.marginal(attrs)
+            assert table.arity == k
+
+    def test_marginals_plural(self, small_dataset, design10):
+        synopsis = PriView(1.0, design=design10, seed=0).fit(small_dataset)
+        tables = synopsis.marginals([(0, 1), (2, 3)])
+        assert [t.attrs for t in tables] == [(0, 1), (2, 3)]
+
+
+class TestPipelineVariants:
+    @pytest.mark.parametrize("method", ["none", "simple", "global", "ripple"])
+    def test_nonnegativity_variants_run(self, small_dataset, design10, method):
+        synopsis = PriView(
+            0.5, design=design10, nonnegativity=method, seed=0
+        ).fit(small_dataset)
+        table = synopsis.marginal((0, 1, 4, 8))
+        assert np.all(np.isfinite(table.counts))
+
+    def test_no_consistency_pipeline(self, small_dataset, design10):
+        synopsis = PriView(
+            1.0, design=design10, consistency=False, nonnegativity="none",
+            seed=0,
+        ).fit(small_dataset)
+        table = synopsis.marginal((0, 1, 4, 8), method="lp")
+        assert np.all(np.isfinite(table.counts))
+
+    def test_multiple_nonneg_rounds(self, small_dataset, design10):
+        synopsis = PriView(
+            1.0, design=design10, nonneg_rounds=3, seed=0
+        ).fit(small_dataset)
+        assert synopsis.metadata["nonneg_rounds"] == 3

@@ -1,0 +1,58 @@
+"""Tests for synopsis persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core.priview import PriView
+from repro.core.serialization import load_synopsis, save_synopsis
+from repro.covering.repository import best_design
+from repro.exceptions import DatasetError
+
+
+@pytest.fixture
+def synopsis(small_dataset):
+    design = best_design(10, 4, 2)
+    return PriView(1.0, design=design, seed=5).fit(small_dataset)
+
+
+class TestRoundTrip:
+    def test_views_identical(self, synopsis, tmp_path):
+        path = save_synopsis(synopsis, tmp_path / "synopsis.npz")
+        again = load_synopsis(path)
+        assert again.epsilon == synopsis.epsilon
+        assert again.num_attributes == synopsis.num_attributes
+        assert again.design == synopsis.design
+        for a, b in zip(again.views, synopsis.views):
+            assert a.attrs == b.attrs
+            assert np.array_equal(a.counts, b.counts)
+
+    def test_queries_identical(self, synopsis, tmp_path):
+        path = save_synopsis(synopsis, tmp_path / "synopsis.npz")
+        again = load_synopsis(path)
+        attrs = (0, 3, 5, 8)
+        assert np.allclose(
+            again.marginal(attrs).counts, synopsis.marginal(attrs).counts
+        )
+
+    def test_metadata_preserved(self, synopsis, tmp_path):
+        path = save_synopsis(synopsis, tmp_path / "s.npz")
+        assert load_synopsis(path).metadata == synopsis.metadata
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_synopsis(tmp_path / "missing.npz")
+
+    def test_bad_version_rejected(self, synopsis, tmp_path):
+        import json
+
+        import numpy as np
+
+        path = save_synopsis(synopsis, tmp_path / "s.npz")
+        with np.load(path, allow_pickle=False) as archive:
+            payload = {k: archive[k] for k in archive.files}
+        header = json.loads(str(payload["header"]))
+        header["format_version"] = 99
+        payload["header"] = json.dumps(header)
+        np.savez_compressed(path, **payload)
+        with pytest.raises(DatasetError):
+            load_synopsis(path)

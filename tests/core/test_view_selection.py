@@ -1,0 +1,82 @@
+"""Tests for view selection (Section 4.5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.view_selection import (
+    choose_strength,
+    noisy_record_count,
+    priview_noise_error,
+    select_views,
+)
+from repro.exceptions import DesignError
+
+
+class TestNoiseError:
+    def test_paper_kosarak_values(self):
+        """The Section 4.5 table: 0.00047 / 0.0011 / 0.0026."""
+        args = (900_000, 32, 1.0, 8)
+        assert priview_noise_error(*args, 20) == pytest.approx(0.00047, abs=5e-5)
+        assert priview_noise_error(*args, 106) == pytest.approx(0.0011, abs=1e-4)
+        assert priview_noise_error(*args, 620) == pytest.approx(0.0026, abs=2e-4)
+
+    def test_scales_inverse_epsilon(self):
+        e1 = priview_noise_error(1e6, 32, 1.0, 8, 20)
+        e01 = priview_noise_error(1e6, 32, 0.1, 8, 20)
+        assert e01 == pytest.approx(10 * e1)
+
+    def test_scales_inverse_n(self):
+        big = priview_noise_error(1e6, 32, 1.0, 8, 20)
+        small = priview_noise_error(1e5, 32, 1.0, 8, 20)
+        assert small == pytest.approx(10 * big)
+
+    def test_scales_sqrt_w(self):
+        w1 = priview_noise_error(1e6, 32, 1.0, 8, 25)
+        w4 = priview_noise_error(1e6, 32, 1.0, 8, 100)
+        assert w4 == pytest.approx(2 * w1)
+
+    def test_invalid_n(self):
+        with pytest.raises(DesignError):
+            priview_noise_error(0, 32, 1.0, 8, 20)
+
+
+class TestChooseStrength:
+    def test_kosarak_eps1_picks_t3(self):
+        """The paper's worked example: eps=1.0 -> t=3."""
+        assert choose_strength(900_000, 32, 1.0) == 3
+
+    def test_kosarak_eps01_picks_t2(self):
+        """And eps=0.1 -> t=2."""
+        assert choose_strength(900_000, 32, 0.1) == 2
+
+    def test_tiny_n_falls_back_to_t2(self):
+        assert choose_strength(100, 32, 0.1) == 2
+
+    def test_huge_n_prefers_more_coverage(self):
+        assert choose_strength(1e9, 32, 1.0) >= 3
+
+
+class TestSelectViews:
+    def test_returns_valid_covering(self):
+        design = select_views(900_000, 32, 1.0)
+        design.validate()
+        assert design.block_size == 8
+
+    def test_explicit_strength(self):
+        design = select_views(900_000, 32, 1.0, strength=2)
+        assert design.strength == 2
+        assert design.num_blocks == 20
+
+    def test_small_d_clamps_block_size(self):
+        design = select_views(10_000, 6, 1.0, strength=2)
+        design.validate()
+        assert design.block_size <= 6
+
+
+class TestNoisyRecordCount:
+    def test_close_to_truth(self, rng):
+        estimate = noisy_record_count(1_000_000, epsilon=0.001, rng=rng)
+        assert abs(estimate - 1_000_000) < 50_000
+
+    def test_never_below_one(self, rng):
+        assert noisy_record_count(0, epsilon=0.001, rng=rng) >= 1.0

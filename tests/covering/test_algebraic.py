@@ -1,0 +1,92 @@
+"""Tests for finite-field arithmetic and algebraic constructions."""
+
+import itertools
+
+import pytest
+
+from repro.covering.algebraic import (
+    GaloisField,
+    affine_plane_design,
+    grid_mols_design,
+)
+from repro.covering.bounds import schonheim_bound
+from repro.exceptions import DesignError
+
+
+class TestGaloisField:
+    @pytest.mark.parametrize("q", [2, 3, 4, 5, 7, 8, 9, 16, 25, 27, 49])
+    def test_field_axioms_sampled(self, q):
+        gf = GaloisField(q)
+        # additive and multiplicative identities
+        for a in range(q):
+            assert gf.add(a, 0) == a
+            assert gf.mul(a, 1) == a
+            assert gf.mul(a, 0) == 0
+        # every nonzero element has a multiplicative inverse
+        for a in range(1, q):
+            assert any(gf.mul(a, b) == 1 for b in range(1, q))
+
+    @pytest.mark.parametrize("q", [4, 8, 9])
+    def test_distributivity(self, q):
+        gf = GaloisField(q)
+        for a, b, c in itertools.product(range(q), repeat=3):
+            left = gf.mul(a, gf.add(b, c))
+            right = gf.add(gf.mul(a, b), gf.mul(a, c))
+            assert left == right
+
+    @pytest.mark.parametrize("q", [4, 8])
+    def test_characteristic_two_self_inverse(self, q):
+        gf = GaloisField(q)
+        for a in range(q):
+            assert gf.add(a, a) == 0
+
+    def test_unsupported_order(self):
+        with pytest.raises(DesignError):
+            GaloisField(6)
+        with pytest.raises(DesignError):
+            GaloisField(12)
+
+
+class TestAffinePlane:
+    @pytest.mark.parametrize("q", [2, 3, 4, 5, 7, 8])
+    def test_valid_and_sized(self, q):
+        design = affine_plane_design(q)
+        design.validate()
+        assert design.num_points == q * q
+        assert design.block_size == q
+        assert design.num_blocks == q * q + q
+
+    def test_every_pair_exactly_once(self):
+        """AG(2,q) lines cover each pair exactly once (a 2-design)."""
+        design = affine_plane_design(4)
+        mult = design.coverage_multiplicity()
+        assert set(mult.values()) == {1}
+
+    def test_q8_is_papers_c2_8_72(self):
+        design = affine_plane_design(8)
+        assert design.notation == "C_2(8,72)"
+        assert design.num_blocks == schonheim_bound(64, 8, 2)
+
+
+class TestGridMols:
+    def test_d32_is_papers_c2_8_20(self):
+        design = grid_mols_design(8, 4)
+        design.validate()
+        assert design.notation == "C_2(8,20)"
+        assert design.num_blocks == schonheim_bound(32, 8, 2)
+
+    def test_d64_matches_affine(self):
+        design = grid_mols_design(8, 8)
+        design.validate()
+        assert design.num_blocks == 72
+
+    @pytest.mark.parametrize("l,g", [(4, 2), (6, 3), (10, 5), (9, 3)])
+    def test_other_parameters(self, l, g):
+        design = grid_mols_design(l, g)
+        design.validate()
+        assert design.num_points == g * l
+        assert design.num_blocks == g * g + g
+
+    def test_requires_divisibility(self):
+        with pytest.raises(DesignError):
+            grid_mols_design(7, 4)

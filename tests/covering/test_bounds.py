@@ -1,0 +1,50 @@
+"""Tests for covering-number lower bounds."""
+
+import math
+
+import pytest
+
+from repro.covering.bounds import pair_counting_bound, schonheim_bound
+from repro.exceptions import DesignError
+
+
+class TestSchonheimBound:
+    def test_t1_is_ceiling(self):
+        assert schonheim_bound(10, 3, 1) == 4
+
+    def test_paper_optimal_designs_meet_bound(self):
+        """The paper's C_2(8,20) and C_2(8,72) are optimal."""
+        assert schonheim_bound(32, 8, 2) == 20
+        assert schonheim_bound(64, 8, 2) == 72
+
+    def test_known_small_values(self):
+        # C(7,3,2) = 7 (Fano plane) and the bound is tight there.
+        assert schonheim_bound(7, 3, 2) == 7
+        # C(9,6,2): paper's MSNBC design uses 3 blocks.
+        assert schonheim_bound(9, 6, 2) == 3
+
+    def test_bound_at_full_block(self):
+        assert schonheim_bound(8, 8, 2) == 1
+
+    def test_monotone_in_strength(self):
+        for t in range(1, 4):
+            assert schonheim_bound(20, 6, t) <= schonheim_bound(20, 6, t + 1)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(DesignError):
+            schonheim_bound(5, 6, 2)
+        with pytest.raises(DesignError):
+            schonheim_bound(6, 3, 0)
+
+
+class TestPairCountingBound:
+    def test_formula(self):
+        assert pair_counting_bound(10, 4) == math.ceil(45 / 6)
+
+    def test_schonheim_at_least_as_strong(self):
+        for v, l in [(16, 4), (32, 8), (45, 8), (20, 5)]:
+            assert schonheim_bound(v, l, 2) >= pair_counting_bound(v, l)
+
+    def test_invalid(self):
+        with pytest.raises(DesignError):
+            pair_counting_bound(3, 1)

@@ -1,0 +1,51 @@
+"""Integrity tests for the covering designs shipped with the package."""
+
+import pathlib
+
+import pytest
+
+from repro.covering.design import CoveringDesign
+from repro.covering.bounds import schonheim_bound
+from repro.covering.repository import _data_dir
+
+BUNDLED = sorted(pathlib.Path(_data_dir()).glob("cover_*.txt"))
+
+
+@pytest.mark.parametrize("path", BUNDLED, ids=lambda p: p.stem)
+def test_bundled_design_is_valid(path):
+    design = CoveringDesign.from_text(path.read_text())
+    design.validate()
+
+
+@pytest.mark.parametrize("path", BUNDLED, ids=lambda p: p.stem)
+def test_bundled_design_filename_matches_parameters(path):
+    design = CoveringDesign.from_text(path.read_text())
+    expected = (
+        f"cover_d{design.num_points}_l{design.block_size}"
+        f"_t{design.strength}.txt"
+    )
+    assert path.name == expected
+
+
+@pytest.mark.parametrize("path", BUNDLED, ids=lambda p: p.stem)
+def test_bundled_design_not_below_bound(path):
+    """No bundled design can beat the Schönheim lower bound."""
+    design = CoveringDesign.from_text(path.read_text())
+    bound = schonheim_bound(
+        design.num_points, design.block_size, design.strength
+    )
+    assert design.num_blocks >= bound
+
+
+def test_experiment_designs_bundled():
+    """Every design the figure drivers rely on must be present or
+    algebraically constructible."""
+    names = {p.name for p in BUNDLED}
+    required = [
+        "cover_d9_l6_t2.txt",  # the paper's MSNBC C_2(6,3)
+        "cover_d32_l8_t3.txt",
+        "cover_d45_l8_t2.txt",
+        "cover_d45_l8_t3.txt",
+    ]
+    for name in required:
+        assert name in names, f"missing bundled design {name}"

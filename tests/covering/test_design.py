@@ -1,0 +1,113 @@
+"""Tests for the CoveringDesign container."""
+
+import pytest
+
+from repro.covering.design import CoveringDesign
+from repro.exceptions import DesignError
+
+
+def _pair_design() -> CoveringDesign:
+    """A hand-made C_2(3, 4) over 6 points: all pairs covered."""
+    return CoveringDesign(
+        6, 3, 2, ((0, 1, 2), (3, 4, 5), (0, 3, 4), (1, 2, 5), (0, 1, 5),
+                  (2, 3, 4), (0, 2, 4), (1, 3, 5), (0, 2, 5), (1, 3, 4))
+    )
+
+
+class TestConstruction:
+    def test_blocks_sorted_and_normalised(self):
+        design = CoveringDesign(5, 3, 2, ((4, 0, 2),))
+        assert design.blocks == ((0, 2, 4),)
+
+    def test_rejects_duplicate_points(self):
+        with pytest.raises(DesignError):
+            CoveringDesign(5, 3, 2, ((0, 0, 1),))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(DesignError):
+            CoveringDesign(5, 3, 2, ((0, 1, 5),))
+
+    def test_rejects_wrong_block_size(self):
+        with pytest.raises(DesignError):
+            CoveringDesign(5, 3, 2, ((0, 1),))
+
+    def test_rejects_block_size_below_strength(self):
+        with pytest.raises(DesignError):
+            CoveringDesign(5, 1, 2)
+
+    def test_notation(self):
+        design = CoveringDesign(6, 3, 2, ((0, 1, 2), (3, 4, 5)))
+        assert design.notation == "C_2(3,2)"
+
+    def test_small_universe_allows_short_block(self):
+        design = CoveringDesign(3, 8, 2, ((0, 1, 2),))
+        assert design.is_covering()
+
+
+class TestCoverage:
+    def test_uncovered_tsets(self):
+        design = CoveringDesign(4, 2, 2, ((0, 1), (2, 3)))
+        missing = design.uncovered_tsets()
+        assert (0, 2) in missing
+        assert (0, 1) not in missing
+        assert len(missing) == 4
+
+    def test_is_covering(self):
+        assert _pair_design().is_covering()
+
+    def test_validate_passes(self):
+        _pair_design().validate()
+
+    def test_validate_fails_missing_pairs(self):
+        design = CoveringDesign(6, 3, 2, ((0, 1, 2),))
+        with pytest.raises(DesignError):
+            design.validate()
+
+    def test_validate_fails_missing_point(self):
+        # all pairs of {0,1,2} covered, but t=1 coverage of others absent
+        design = CoveringDesign(4, 3, 1, ((0, 1, 2),))
+        with pytest.raises(DesignError):
+            design.validate()
+
+    def test_covers(self):
+        design = _pair_design()
+        assert design.covers((0, 1))
+        assert design.covers((3, 4, 5))
+        assert not design.covers((0, 1, 3))
+
+    def test_coverage_multiplicity(self):
+        design = CoveringDesign(4, 3, 2, ((0, 1, 2), (1, 2, 3)))
+        mult = design.coverage_multiplicity()
+        assert mult[(1, 2)] == 2
+        assert mult[(0, 1)] == 1
+        assert mult[(0, 3)] == 0
+
+
+class TestRedundancy:
+    def test_drop_redundant_removes_duplicates(self):
+        base = _pair_design()
+        padded = CoveringDesign(
+            6, 3, 2, base.blocks + ((0, 1, 2),)
+        )
+        pruned = padded.drop_redundant()
+        assert pruned.num_blocks <= base.num_blocks
+        pruned.validate()
+
+    def test_drop_redundant_keeps_covering(self):
+        pruned = _pair_design().drop_redundant()
+        pruned.validate()
+
+
+class TestSerialisation:
+    def test_round_trip(self):
+        design = _pair_design()
+        again = CoveringDesign.from_text(design.to_text())
+        assert again == design
+
+    def test_from_text_malformed(self):
+        with pytest.raises(DesignError):
+            CoveringDesign.from_text("not a design")
+
+    def test_from_text_empty(self):
+        with pytest.raises(DesignError):
+            CoveringDesign.from_text("")

@@ -1,0 +1,46 @@
+"""Tests for greedy covering-design construction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.covering.bounds import schonheim_bound
+from repro.covering.greedy import greedy_cover
+from repro.exceptions import DesignError
+
+
+class TestGreedyCover:
+    def test_produces_valid_covering(self, rng):
+        design = greedy_cover(12, 4, 2, rng)
+        design.validate()
+
+    def test_strength_three(self, rng):
+        design = greedy_cover(10, 5, 3, rng)
+        design.validate()
+        assert design.strength == 3
+
+    def test_near_bound_for_easy_parameters(self, rng):
+        design = greedy_cover(16, 4, 2, rng)
+        bound = schonheim_bound(16, 4, 2)
+        assert design.num_blocks <= 2 * bound
+
+    def test_single_block_when_points_fit(self, rng):
+        design = greedy_cover(4, 4, 2, rng)
+        assert design.num_blocks == 1
+
+    def test_rejects_too_few_points(self, rng):
+        with pytest.raises(DesignError):
+            greedy_cover(3, 4, 2, rng)
+
+    def test_strength_one_covers_all_points(self, rng):
+        design = greedy_cover(13, 4, 1, rng)
+        design.validate()
+        covered = {p for b in design.blocks for p in b}
+        assert covered == set(range(13))
+
+    @given(seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_random_seeds_always_valid(self, seed):
+        design = greedy_cover(10, 4, 2, np.random.default_rng(seed))
+        design.validate()

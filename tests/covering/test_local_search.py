@@ -1,0 +1,62 @@
+"""Tests for annealing / shrink local search."""
+
+import numpy as np
+
+from repro.covering.design import CoveringDesign
+from repro.covering.greedy import greedy_cover
+from repro.covering.local_search import anneal_cover, shrink_design
+
+
+class TestAnnealCover:
+    def test_finds_feasible_design(self, rng):
+        design = anneal_cover(10, 4, 2, 9, rng=rng, max_steps=40_000)
+        assert design is not None
+        design.validate()
+        assert design.num_blocks == 9
+
+    def test_impossible_target_returns_none(self, rng):
+        # 2 blocks of 3 cover at most 6 pairs; C(8,2)=28 needed.
+        assert (
+            anneal_cover(8, 3, 2, 2, rng=rng, max_steps=5_000, restarts=1)
+            is None
+        )
+
+    def test_seeded_repair(self, rng):
+        """An initial design missing one block repairs quickly."""
+        full = greedy_cover(12, 4, 2, rng)
+        target = full.num_blocks - 1
+        seeded = CoveringDesign(12, 4, 2, full.blocks[:target])
+        repaired = anneal_cover(
+            12, 4, 2, target, rng=rng, max_steps=60_000, initial=seeded
+        )
+        if repaired is not None:  # feasibility depends on the greedy start
+            repaired.validate()
+            assert repaired.num_blocks == target
+
+    def test_respects_initial_block_count_mismatch(self, rng):
+        """A mismatched initial design is ignored, not crashed on."""
+        other = greedy_cover(10, 4, 2, rng)
+        design = anneal_cover(
+            10, 4, 2, other.num_blocks + 3, rng=rng, max_steps=20_000,
+            initial=other,
+        )
+        assert design is not None
+        assert design.num_blocks == other.num_blocks + 3
+
+
+class TestShrinkDesign:
+    def test_never_invalidates(self, rng):
+        start = greedy_cover(12, 4, 2, rng)
+        improved = shrink_design(
+            start, rng=rng, max_steps=20_000, time_budget=10
+        )
+        improved.validate()
+        assert improved.num_blocks <= start.num_blocks
+
+    def test_respects_time_budget(self, rng):
+        import time
+
+        start = greedy_cover(14, 4, 2, rng)
+        t0 = time.time()
+        shrink_design(start, rng=rng, max_steps=10_000, time_budget=2)
+        assert time.time() - t0 < 30

@@ -1,0 +1,96 @@
+"""Tests for the design repository / construction front-end."""
+
+import pytest
+
+from repro.covering.design import CoveringDesign
+from repro.covering.repository import (
+    algebraic_design,
+    best_design,
+    construct_design,
+    design_filename,
+    load_bundled_design,
+    save_design,
+)
+from repro.exceptions import DesignError
+
+
+class TestAlgebraicDispatch:
+    def test_affine_parameters(self):
+        design = algebraic_design(64, 8, 2)
+        assert design is not None and design.num_blocks == 72
+
+    def test_grid_parameters(self):
+        design = algebraic_design(32, 8, 2)
+        assert design is not None and design.num_blocks == 20
+
+    def test_no_construction_for_t3(self):
+        assert algebraic_design(32, 8, 3) is None
+
+    def test_no_construction_for_awkward_d(self):
+        assert algebraic_design(45, 8, 2) is None
+
+
+class TestBestDesign:
+    def test_paper_kosarak_design(self):
+        design = best_design(32, 8, 2)
+        design.validate()
+        assert design.num_blocks == 20
+
+    def test_mchain_design(self):
+        design = best_design(64, 8, 2)
+        design.validate()
+        assert design.num_blocks == 72
+
+    def test_msnbc_design_from_bundle(self):
+        """The paper's C_2(6,3) for MSNBC (d=9)."""
+        design = best_design(9, 6, 2)
+        design.validate()
+        assert design.num_blocks == 3
+
+    def test_bundled_t3_design(self):
+        design = best_design(32, 8, 3)
+        design.validate()
+        assert design.strength == 3
+
+    def test_cached(self):
+        assert best_design(16, 4, 2) is best_design(16, 4, 2)
+
+
+class TestConstructDesign:
+    def test_trivial_single_block(self):
+        design = construct_design(5, 8, 2)
+        design.validate()
+        assert design.num_blocks == 1
+
+    def test_greedy_fallback(self, rng):
+        design = construct_design(11, 4, 2, rng=rng)
+        design.validate()
+
+    def test_effort_never_worsens(self, rng):
+        base = construct_design(12, 4, 2, rng=rng, effort=0)
+        improved = construct_design(12, 4, 2, rng=rng, effort=1)
+        improved.validate()
+        assert improved.num_blocks <= base.num_blocks + 1
+
+
+class TestBundleRoundTrip:
+    def test_save_and_load(self, tmp_path):
+        design = construct_design(10, 4, 2)
+        path = save_design(design, tmp_path)
+        assert path.name == design_filename(10, 4, 2)
+        text = path.read_text()
+        again = CoveringDesign.from_text(text)
+        assert again == design
+
+    def test_load_missing_returns_none(self):
+        assert load_bundled_design(99, 7, 2) is None
+
+    def test_mismatched_bundle_rejected(self, tmp_path, monkeypatch):
+        design = construct_design(10, 4, 2)
+        bad_name = tmp_path / design_filename(11, 4, 2)
+        bad_name.write_text(design.to_text())
+        monkeypatch.setattr(
+            "repro.covering.repository._data_dir", lambda: tmp_path
+        )
+        with pytest.raises(DesignError):
+            load_bundled_design(11, 4, 2)

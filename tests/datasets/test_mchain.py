@@ -1,0 +1,92 @@
+"""Tests for the MCHAIN generator (Section 5 recipe)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.mchain import (
+    markov_chain_dataset,
+    next_bit_probability,
+    stationary_distribution,
+)
+from repro.exceptions import DatasetError
+
+
+class TestNextBitProbability:
+    def test_balanced_history_gives_half(self):
+        assert next_bit_probability(2, 1) == pytest.approx(0.5)
+        assert next_bit_probability(4, 2) == pytest.approx(0.5)
+
+    def test_all_zero_history(self):
+        assert next_bit_probability(3, 0) == pytest.approx(0.75)
+
+    def test_all_one_history(self):
+        assert next_bit_probability(3, 3) == pytest.approx(0.25)
+
+    def test_vectorised(self):
+        probs = next_bit_probability(2, np.array([0, 1, 2]))
+        assert np.allclose(probs, [0.75, 0.5, 0.25])
+
+    def test_invalid_order(self):
+        with pytest.raises(DatasetError):
+            next_bit_probability(0, 0)
+
+
+class TestStationaryDistribution:
+    @pytest.mark.parametrize("order", [1, 2, 3, 5])
+    def test_sums_to_one(self, order):
+        dist = stationary_distribution(order)
+        assert dist.sum() == pytest.approx(1.0)
+        assert dist.min() >= 0
+
+    def test_is_fixed_point(self):
+        from repro.datasets.mchain import _transition_matrix
+
+        order = 3
+        dist = stationary_distribution(order)
+        assert np.allclose(dist @ _transition_matrix(order), dist, atol=1e-10)
+
+    def test_symmetric_chain_uniform_marginal(self):
+        """The chain is 0/1-symmetric, so P(bit=1) = 1/2 stationary."""
+        order = 2
+        dist = stationary_distribution(order)
+        ones = np.array([bin(s).count("1") for s in range(4)])
+        p_one = dist[ones >= 1][ones[ones >= 1] == 1].sum()  # exactly 1 one
+        # complement symmetry: dist[s] == dist[~s & mask]
+        assert dist[0] == pytest.approx(dist[3], abs=1e-10)
+
+
+class TestGenerator:
+    def test_shape_and_name(self, rng):
+        ds = markov_chain_dataset(3, 200, length=32, rng=rng)
+        assert ds.num_records == 200
+        assert ds.num_attributes == 32
+        assert ds.name == "mchain_3"
+
+    def test_marginal_bit_balance(self, rng):
+        ds = markov_chain_dataset(2, 20_000, length=16, rng=rng)
+        means = ds.attribute_means()
+        assert np.all(np.abs(means - 0.5) < 0.02)
+
+    def test_negative_correlation_structure(self, rng):
+        """Order-1: P(1|1) = 0.25, so adjacent bits anti-correlate."""
+        ds = markov_chain_dataset(1, 30_000, length=8, rng=rng)
+        data = ds.data.astype(float)
+        corr = np.corrcoef(data[:, 3], data[:, 4])[0, 1]
+        assert corr < -0.3
+
+    def test_dependence_range_matches_order(self, rng):
+        """Bits far beyond the order are nearly independent."""
+        ds = markov_chain_dataset(1, 30_000, length=12, rng=rng)
+        data = ds.data.astype(float)
+        far = abs(np.corrcoef(data[:, 0], data[:, 8])[0, 1])
+        near = abs(np.corrcoef(data[:, 0], data[:, 1])[0, 1])
+        assert far < near / 3
+
+    def test_length_shorter_than_order_rejected(self, rng):
+        with pytest.raises(DatasetError):
+            markov_chain_dataset(5, 10, length=3, rng=rng)
+
+    def test_deterministic_with_seed(self):
+        a = markov_chain_dataset(2, 50, length=10, rng=np.random.default_rng(1))
+        b = markov_chain_dataset(2, 50, length=10, rng=np.random.default_rng(1))
+        assert np.array_equal(a.data, b.data)

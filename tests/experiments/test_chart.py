@@ -1,0 +1,55 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.experiments.chart import render_chart
+from repro.experiments.runner import ExperimentResult, MethodResult
+from repro.metrics.candlestick import Candlestick
+
+
+def _result() -> ExperimentResult:
+    result = ExperimentResult("figX", "demo")
+    result.add(
+        MethodResult(
+            "PriView", 4, 1.0, "normalized_l2",
+            Candlestick(1e-4, 2e-4, 3e-4, 5e-4, 2.5e-4, 20),
+        )
+    )
+    result.add(
+        MethodResult(
+            "Direct", 4, 1.0, "normalized_l2",
+            Candlestick(1e-1, 2e-1, 3e-1, 5e-1, 2.5e-1, 20),
+        )
+    )
+    result.add(
+        MethodResult("Flat", 4, 1.0, "normalized_l2", None, expected=1.0)
+    )
+    return result
+
+
+class TestRenderChart:
+    def test_contains_all_methods(self):
+        chart = render_chart(_result())
+        assert "PriView" in chart and "Direct" in chart and "Flat" in chart
+
+    def test_log_ordering_of_markers(self):
+        chart = render_chart(_result())
+        lines = {line.split()[0]: line for line in chart.splitlines()[2:]}
+        assert lines["PriView"].index("O") < lines["Direct"].index("O")
+        assert lines["Direct"].index("O") <= lines["Flat"].index("O")
+
+    def test_metric_filter(self):
+        chart = render_chart(_result(), metric="jensen_shannon")
+        assert "no rows" in chart
+
+    def test_epsilon_filter(self):
+        chart = render_chart(_result(), epsilon=0.1)
+        assert "no rows" in chart
+
+    def test_analytic_rows_have_marker_only(self):
+        chart = render_chart(_result())
+        flat_line = next(
+            line for line in chart.splitlines() if line.startswith("Flat")
+        )
+        assert "O" in flat_line
+        assert "=" not in flat_line.split("|")[1]

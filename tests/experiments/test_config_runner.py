@@ -1,0 +1,110 @@
+"""Tests for experiment configuration and the generic runner."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ReproError
+from repro.experiments.config import SCALES, get_scale
+from repro.experiments.runner import (
+    ExperimentResult,
+    MethodResult,
+    evaluate_mechanism,
+)
+from repro.metrics.candlestick import Candlestick
+
+
+class TestScale:
+    def test_default_quick(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert get_scale().name == "quick"
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "medium")
+        assert get_scale().name == "medium"
+
+    def test_explicit_name(self):
+        assert get_scale("paper").num_queries == 200
+
+    def test_pass_through(self):
+        scale = SCALES["quick"]
+        assert get_scale(scale) is scale
+
+    def test_unknown(self):
+        with pytest.raises(ReproError):
+            get_scale("galactic")
+
+    def test_paper_protocol_values(self):
+        """Section 5: 200 query sets, 5 runs, full N."""
+        paper = SCALES["paper"]
+        assert paper.num_queries == 200
+        assert paper.num_runs == 5
+        assert paper.max_records is None
+
+
+class _EchoMechanism:
+    """Returns the exact marginal — zero error."""
+
+    def __init__(self, dataset):
+        self._dataset = dataset
+
+    def marginal(self, attrs):
+        return self._dataset.marginal(attrs)
+
+
+class TestEvaluateMechanism:
+    def test_exact_mechanism_zero_error(self, tiny_dataset):
+        candle = evaluate_mechanism(
+            lambda run: _EchoMechanism(tiny_dataset),
+            tiny_dataset,
+            [(0, 1), (2, 3)],
+            num_runs=2,
+        )
+        assert candle.mean == 0.0
+        assert candle.count == 2
+
+    def test_js_metric(self, tiny_dataset):
+        candle = evaluate_mechanism(
+            lambda run: _EchoMechanism(tiny_dataset),
+            tiny_dataset,
+            [(0, 1)],
+            num_runs=1,
+            metric="jensen_shannon",
+        )
+        assert candle.mean == pytest.approx(0.0, abs=1e-12)
+
+    def test_factory_called_per_run(self, tiny_dataset):
+        calls = []
+
+        def factory(run):
+            calls.append(run)
+            return _EchoMechanism(tiny_dataset)
+
+        evaluate_mechanism(factory, tiny_dataset, [(0,)], num_runs=3)
+        assert calls == [0, 1, 2]
+
+
+class TestResultContainers:
+    def _result(self):
+        result = ExperimentResult("figX", "demo", context={"d": 9})
+        candle = Candlestick(1, 2, 3, 4, 2.5, 10)
+        result.add(MethodResult("PriView", 4, 1.0, "normalized_l2", candle))
+        result.add(
+            MethodResult("Flat", 4, 1.0, "normalized_l2", None, expected=0.5)
+        )
+        return result
+
+    def test_row_lookup(self):
+        result = self._result()
+        assert result.row("PriView", 4, 1.0).candle.mean == 2.5
+        with pytest.raises(KeyError):
+            result.row("Nope", 4, 1.0)
+
+    def test_headline(self):
+        result = self._result()
+        assert result.row("PriView", 4, 1.0).headline() == 2.5
+        assert result.row("Flat", 4, 1.0).headline() == 0.5
+
+    def test_render_contains_all_methods(self):
+        text = self._result().render()
+        assert "PriView" in text and "Flat" in text
+        assert "figX" in text and "d=9" in text

@@ -1,0 +1,36 @@
+"""Tests for the experiment dataset helper."""
+
+import pytest
+
+from repro.experiments.config import ExperimentScale
+from repro.experiments.data import experiment_dataset
+
+TINY = ExperimentScale("tiny", num_queries=2, num_runs=1, max_records=3_000)
+
+
+class TestExperimentDataset:
+    def test_clickstream_names(self):
+        ds = experiment_dataset("kosarak", TINY)
+        assert ds.num_attributes == 32
+        assert ds.num_records == 3_000
+
+    def test_mchain_names(self):
+        ds = experiment_dataset("mchain_2", TINY)
+        assert ds.num_attributes == 64
+        assert ds.name == "mchain_2"
+
+    def test_cached_per_scale(self):
+        a = experiment_dataset("msnbc", TINY)
+        b = experiment_dataset("msnbc", TINY)
+        assert a is b
+
+    def test_different_orders_differ(self):
+        a = experiment_dataset("mchain_1", TINY)
+        b = experiment_dataset("mchain_3", TINY)
+        assert a is not b
+
+    def test_unknown_name_rejected(self):
+        from repro.exceptions import DatasetError
+
+        with pytest.raises(DatasetError):
+            experiment_dataset("census", TINY)

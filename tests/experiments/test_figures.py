@@ -1,0 +1,124 @@
+"""Smoke tests for the figure drivers at tiny scale.
+
+Each driver runs with drastically reduced parameters; the assertions
+check the *shape* relations the paper reports, where a tiny run can
+support them, and otherwise that the pipeline produces sane rows.
+"""
+
+import pytest
+
+from repro.experiments import figure1, figure2, figure3, figure4, figure5, figure6
+from repro.experiments.config import ExperimentScale
+
+TINY = ExperimentScale("tiny", num_queries=4, num_runs=1, max_records=20_000)
+
+
+class TestFigure1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure1.run(scale=TINY, ks=(2,), epsilons=(1.0,), seed=1)
+
+    def test_all_methods_present(self, result):
+        methods = {r.method for r in result.rows}
+        assert {
+            "PriView", "Flat", "Direct", "Fourier", "FourierLP", "DataCube",
+            "MWEM", "Uniform", "MatrixMechanism",
+        } <= methods
+
+    def test_priview_close_to_flat(self, result):
+        priview = result.row("PriView", 2, 1.0).headline()
+        flat = result.row("Flat", 2, 1.0).headline()
+        assert priview < 5 * flat
+
+    def test_flat_beats_direct(self, result):
+        assert result.row("Flat", 2, 1.0).headline() < result.row(
+            "Direct", 2, 1.0
+        ).headline()
+
+    def test_uniform_is_worst_of_core_methods(self, result):
+        uniform = result.row("Uniform", 2, 1.0).headline()
+        for method in ("PriView", "Flat", "Direct", "Fourier"):
+            assert result.row(method, 2, 1.0).headline() < uniform
+
+    def test_datacube_equals_flat_class(self, result):
+        """DataCube selects the full table at d=9 (Section 3.4)."""
+        datacube = result.row("DataCube", 2, 1.0).headline()
+        flat = result.row("Flat", 2, 1.0).headline()
+        assert datacube == pytest.approx(flat, rel=0.8)
+
+
+class TestFigure2:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return figure2.run(
+            scale=TINY, datasets=("kosarak",), epsilons=(1.0,), ks=(4,),
+            metrics=("normalized_l2",), seed=1,
+        )
+
+    def test_priview_beats_direct_and_fourier(self, results):
+        (result,) = results
+        direct = result.row("Direct", 4, 1.0).headline()
+        fourier = result.row("Fourier", 4, 1.0).headline()
+        priview = [
+            r.headline()
+            for r in result.rows
+            if r.method.startswith("PriView-") and r.k == 4
+        ]
+        assert all(p < direct / 10 for p in priview)
+        assert all(p < fourier / 10 for p in priview)
+
+    def test_flat_row_is_analytic(self, results):
+        (result,) = results
+        flat = result.row("Flat", 4, 1.0)
+        assert flat.candle is None
+        assert flat.expected == 1.0  # capped, d=32 at reduced N
+
+    def test_noise_free_rows_below_noisy(self, results):
+        (result,) = results
+        noisy = [r for r in result.rows if r.method.startswith("PriView-C")]
+        star = [r for r in result.rows if r.method.startswith("PriView*")]
+        assert min(s.headline() for s in star) <= min(
+            n.headline() for n in noisy
+        )
+
+
+class TestFigure3:
+    def test_cme_beats_lp(self):
+        (result,) = figure3.run(
+            scale=TINY, datasets=("kosarak",), ks=(4,), seed=1
+        )
+        assert result.row("CME", 4, 1.0).headline() < result.row(
+            "LP", 4, 1.0
+        ).headline()
+        assert result.row("CME*", 4, 1.0).headline() < result.row(
+            "CME", 4, 1.0
+        ).headline()
+
+
+class TestFigure4:
+    def test_ripple_beats_simple(self):
+        (result,) = figure4.run(
+            scale=TINY, datasets=("kosarak",), ks=(4,),
+            variants=("Simple", "Ripple1"), seed=1,
+        )
+        assert result.row("Ripple1", 4, 1.0).headline() < result.row(
+            "Simple", 4, 1.0
+        ).headline()
+
+
+class TestFigure5:
+    def test_rows_for_each_order(self):
+        result = figure5.run(scale=TINY, orders=(1, 2), ks=(4,), seed=1)
+        assert {r.method for r in result.rows} == {"mc_1", "mc_2"}
+        assert all(r.candle.mean < 0.5 for r in result.rows)
+
+
+class TestFigure6:
+    def test_prediction_attached(self):
+        result = figure6.run(
+            scale=TINY, epsilons=(1.0,), ks=(4,),
+            design_params=((8, 2), (10, 2)), seed=1,
+        )
+        for row in result.rows:
+            assert row.expected is not None
+            assert row.expected > 0

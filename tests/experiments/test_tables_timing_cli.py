@@ -1,0 +1,82 @@
+"""Tests for table drivers, the timing harness, registry and CLI."""
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.experiments import tables, timing
+from repro.experiments.config import ExperimentScale
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.cli import main
+
+TINY = ExperimentScale("tiny", num_queries=2, num_runs=1, max_records=5_000)
+
+
+class TestTables:
+    def test_crossover_matches_paper(self):
+        result = tables.run_crossover()
+        values = {r.k: r.expected for r in result.rows}
+        assert values == {2: 16, 3: 26, 4: 36, 5: 46}
+
+    def test_t_choice_matches_paper(self):
+        result = tables.run_t_choice()
+        errs = {r.k: r.expected for r in result.rows}
+        assert errs[2] == pytest.approx(0.00047, abs=5e-5)
+        assert errs[3] == pytest.approx(0.0011, abs=1e-4)
+        assert errs[4] == pytest.approx(0.0026, abs=2e-4)
+
+    def test_t_choice_with_our_designs(self):
+        result = tables.run_t_choice(use_paper_block_counts=False)
+        errs = {r.k: r.expected for r in result.rows}
+        assert errs[2] == pytest.approx(0.00047, abs=5e-5)  # same design
+        assert errs[3] > errs[2]
+
+    def test_run_all(self):
+        results = tables.run()
+        assert len(results) == 4
+
+    def test_renderable(self):
+        for result in tables.run():
+            assert result.render()
+
+
+class TestTiming:
+    def test_rows_and_render(self):
+        rows = timing.run(scale=TINY, cases=(("kosarak", 2),))
+        assert len(rows) == 1
+        row = rows[0]
+        assert row.synopsis_seconds > 0
+        assert row.q6_seconds > 0
+        assert row.q8_seconds > 0
+        text = timing.render(rows)
+        assert "C_2" in text
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        assert {
+            "figure1", "figure2", "figure3", "figure4", "figure5",
+            "figure6", "tables", "timing", "categorical",
+        } == set(EXPERIMENTS)
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ReproError):
+            run_experiment("figure9")
+
+    def test_run_tables_via_registry(self):
+        text = run_experiment("tables")
+        assert "table-crossover" in text
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "figure1" in out and "timing" in out
+
+    def test_run_tables(self, capsys):
+        assert main(["run", "tables"]) == 0
+        assert "Section 3.2" in capsys.readouterr().out
+
+    def test_bad_experiment_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            main(["run", "figure9"])

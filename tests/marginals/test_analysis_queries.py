@@ -1,0 +1,97 @@
+"""Tests for analyst-style table queries."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionError
+from repro.marginals.analysis_queries import (
+    conditional_probability,
+    count_where,
+    fraction_where,
+    most_common_cells,
+)
+from repro.marginals.table import MarginalTable
+
+
+@pytest.fixture
+def table() -> MarginalTable:
+    # attrs (2, 5): cells [c00, c10, c01, c11] = [10, 20, 30, 40]
+    return MarginalTable((2, 5), np.array([10.0, 20.0, 30.0, 40.0]))
+
+
+class TestCountWhere:
+    def test_full_assignment(self, table):
+        assert count_where(table, {2: 1, 5: 1}) == 40.0
+        assert count_where(table, {2: 0, 5: 0}) == 10.0
+
+    def test_partial_assignment_sums(self, table):
+        assert count_where(table, {2: 1}) == 60.0  # 20 + 40
+        assert count_where(table, {5: 0}) == 30.0  # 10 + 20
+
+    def test_empty_assignment_is_total(self, table):
+        assert count_where(table, {}) == 100.0
+
+    def test_unknown_attribute(self, table):
+        with pytest.raises(DimensionError):
+            count_where(table, {3: 1})
+
+    def test_non_binary_value(self, table):
+        with pytest.raises(DimensionError):
+            count_where(table, {2: 2})
+
+
+class TestFractionWhere:
+    def test_fraction(self, table):
+        assert fraction_where(table, {2: 1}) == pytest.approx(0.6)
+
+    def test_empty_table(self):
+        empty = MarginalTable((0,), np.zeros(2))
+        assert fraction_where(empty, {0: 1}) == 0.0
+
+
+class TestConditional:
+    def test_known_value(self, table):
+        # P(attr5=1 | attr2=1) = 40 / 60
+        assert conditional_probability(
+            table, {5: 1}, {2: 1}
+        ) == pytest.approx(40 / 60)
+
+    def test_zero_mass_condition_nan(self):
+        table = MarginalTable((0, 1), np.array([1.0, 0.0, 1.0, 0.0]))
+        assert np.isnan(conditional_probability(table, {1: 1}, {0: 1}))
+
+    def test_inconsistent_assignment_rejected(self, table):
+        with pytest.raises(DimensionError):
+            conditional_probability(table, {2: 0}, {2: 1})
+
+    def test_overlapping_consistent_ok(self, table):
+        value = conditional_probability(table, {2: 1, 5: 1}, {2: 1})
+        assert value == pytest.approx(40 / 60)
+
+
+class TestMostCommon:
+    def test_ordering(self, table):
+        cells = most_common_cells(table, top=2)
+        assert cells[0] == ({2: 1, 5: 1}, 40.0)
+        assert cells[1] == ({2: 0, 5: 1}, 30.0)
+
+    def test_top_bounds(self, table):
+        assert len(most_common_cells(table, top=100)) == 4
+        with pytest.raises(DimensionError):
+            most_common_cells(table, top=0)
+
+
+class TestAgainstSynopsis:
+    def test_private_conditionals_close_to_truth(self, small_dataset):
+        from repro.core.priview import PriView
+        from repro.covering.repository import best_design
+
+        design = best_design(10, 4, 2)
+        synopsis = PriView(2.0, design=design, seed=1).fit(small_dataset)
+        attrs = (0, 1, 2)
+        private = synopsis.marginal(attrs)
+        truth = small_dataset.marginal(attrs)
+        for event, given in [({0: 1}, {1: 1}), ({2: 0}, {0: 1, 1: 0})]:
+            p_true = conditional_probability(truth, event, given)
+            p_priv = conditional_probability(private, event, given)
+            assert p_priv == pytest.approx(p_true, abs=0.1)

@@ -1,0 +1,110 @@
+"""Tests for projection-map index arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import DimensionError
+from repro.marginals.projection import (
+    cell_neighbours,
+    constraint_matrix,
+    projection_map,
+    subset_positions,
+)
+
+
+class TestProjectionMap:
+    def test_identity_positions(self):
+        pmap = projection_map(3, (0, 1, 2))
+        assert np.array_equal(pmap, np.arange(8))
+
+    def test_single_position(self):
+        pmap = projection_map(2, (1,))
+        # parent cells 0..3; bit 1 selects
+        assert np.array_equal(pmap, [0, 0, 1, 1])
+
+    def test_empty_positions(self):
+        pmap = projection_map(2, ())
+        assert np.array_equal(pmap, [0, 0, 0, 0])
+
+    def test_out_of_range(self):
+        with pytest.raises(DimensionError):
+            projection_map(2, (2,))
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(DimensionError):
+            projection_map(3, (1, 1))
+
+    def test_result_read_only(self):
+        pmap = projection_map(3, (0,))
+        with pytest.raises(ValueError):
+            pmap[0] = 5
+
+    @given(
+        m=st.integers(1, 6),
+        data=st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_every_target_cell_hit_equally(self, m, data):
+        """Projection is a balanced partition of parent cells."""
+        k = data.draw(st.integers(0, m))
+        positions = tuple(
+            sorted(
+                data.draw(
+                    st.sets(st.integers(0, m - 1), min_size=k, max_size=k)
+                )
+            )
+        )
+        pmap = projection_map(m, positions)
+        counts = np.bincount(pmap, minlength=1 << len(positions))
+        assert np.all(counts == 1 << (m - len(positions)))
+
+
+class TestSubsetPositions:
+    def test_basic(self):
+        assert subset_positions((2, 5, 9), (5, 9)) == (1, 2)
+
+    def test_not_subset(self):
+        with pytest.raises(DimensionError):
+            subset_positions((2, 5), (3,))
+
+    def test_empty(self):
+        assert subset_positions((2, 5), ()) == ()
+
+
+class TestConstraintMatrix:
+    def test_rows_sum_cells(self, rng):
+        cells = rng.random(16)
+        mat = constraint_matrix(4, (1, 3))
+        pmap = projection_map(4, (1, 3))
+        expected = np.bincount(pmap, weights=cells, minlength=4)
+        assert np.allclose(mat @ cells, expected)
+
+    def test_each_column_in_one_row(self):
+        mat = constraint_matrix(3, (0, 2))
+        assert np.allclose(mat.sum(axis=0), 1.0)
+
+    def test_empty_projection_is_total(self, rng):
+        cells = rng.random(8)
+        mat = constraint_matrix(3, ())
+        assert mat.shape == (1, 8)
+        assert mat @ cells == pytest.approx(cells.sum())
+
+
+class TestCellNeighbours:
+    def test_shape(self):
+        nb = cell_neighbours(3)
+        assert nb.shape == (8, 3)
+
+    def test_neighbours_differ_in_one_bit(self):
+        nb = cell_neighbours(4)
+        for cell in range(16):
+            for j in range(4):
+                assert nb[cell, j] == cell ^ (1 << j)
+
+    def test_symmetry(self):
+        nb = cell_neighbours(3)
+        for cell in range(8):
+            for other in nb[cell]:
+                assert cell in nb[other]

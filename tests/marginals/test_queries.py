@@ -1,0 +1,68 @@
+"""Tests for query-workload helpers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionError
+from repro.marginals.queries import (
+    all_attribute_subsets,
+    consecutive_attribute_sets,
+    random_attribute_sets,
+)
+
+
+class TestAllSubsets:
+    def test_count(self):
+        assert len(all_attribute_subsets(6, 3)) == math.comb(6, 3)
+
+    def test_sorted_tuples(self):
+        subsets = all_attribute_subsets(5, 2)
+        assert all(s == tuple(sorted(s)) for s in subsets)
+        assert len(set(subsets)) == len(subsets)
+
+    def test_k_zero(self):
+        assert all_attribute_subsets(4, 0) == [()]
+
+    def test_invalid_k(self):
+        with pytest.raises(DimensionError):
+            all_attribute_subsets(4, 5)
+
+
+class TestRandomSets:
+    def test_requested_count(self, rng):
+        sets = random_attribute_sets(20, 4, 15, rng)
+        assert len(sets) == 15
+        assert len(set(sets)) == 15
+        assert all(len(s) == 4 for s in sets)
+
+    def test_returns_all_when_few(self, rng):
+        sets = random_attribute_sets(5, 2, 100, rng)
+        assert len(sets) == math.comb(5, 2)
+
+    def test_deterministic_with_seed(self):
+        a = random_attribute_sets(30, 5, 10, np.random.default_rng(7))
+        b = random_attribute_sets(30, 5, 10, np.random.default_rng(7))
+        assert a == b
+
+    def test_values_in_range(self, rng):
+        sets = random_attribute_sets(12, 3, 20, rng)
+        assert all(0 <= a < 12 for s in sets for a in s)
+
+    def test_invalid_k(self, rng):
+        with pytest.raises(DimensionError):
+            random_attribute_sets(4, 0, 3, rng)
+
+
+class TestConsecutiveSets:
+    def test_windows(self):
+        windows = consecutive_attribute_sets(6, 3)
+        assert windows == [(0, 1, 2), (1, 2, 3), (2, 3, 4), (3, 4, 5)]
+
+    def test_full_window(self):
+        assert consecutive_attribute_sets(4, 4) == [(0, 1, 2, 3)]
+
+    def test_invalid(self):
+        with pytest.raises(DimensionError):
+            consecutive_attribute_sets(3, 4)

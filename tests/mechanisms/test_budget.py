@@ -1,0 +1,60 @@
+"""Tests for privacy-budget accounting."""
+
+import math
+
+import pytest
+
+from repro.exceptions import PrivacyBudgetError
+from repro.mechanisms.budget import PrivacyBudget
+
+
+class TestPrivacyBudget:
+    def test_spend_and_remaining(self):
+        budget = PrivacyBudget(1.0)
+        budget.spend(0.3)
+        assert budget.spent == pytest.approx(0.3)
+        assert budget.remaining == pytest.approx(0.7)
+
+    def test_overspend_rejected(self):
+        budget = PrivacyBudget(0.5)
+        budget.spend(0.4)
+        with pytest.raises(PrivacyBudgetError):
+            budget.spend(0.2)
+
+    def test_exact_spend_allowed(self):
+        budget = PrivacyBudget(1.0)
+        budget.spend(1.0)
+        assert budget.remaining == pytest.approx(0.0)
+
+    def test_nonpositive_total_rejected(self):
+        with pytest.raises(PrivacyBudgetError):
+            PrivacyBudget(0.0)
+
+    def test_nonpositive_spend_rejected(self):
+        with pytest.raises(PrivacyBudgetError):
+            PrivacyBudget(1.0).spend(0.0)
+
+    def test_split_consumes_everything(self):
+        budget = PrivacyBudget(1.0)
+        budget.spend(0.25)
+        shares = budget.split(3)
+        assert shares == pytest.approx([0.25, 0.25, 0.25])
+        assert budget.remaining == pytest.approx(0.0)
+
+    def test_split_exhausted_rejected(self):
+        budget = PrivacyBudget(1.0)
+        budget.split(2)
+        with pytest.raises(PrivacyBudgetError):
+            budget.split(2)
+
+    def test_split_invalid_parts(self):
+        with pytest.raises(PrivacyBudgetError):
+            PrivacyBudget(1.0).split(0)
+
+    def test_infinite_budget(self):
+        budget = PrivacyBudget(math.inf)
+        budget.spend(1e9)
+        assert budget.split(4) == [math.inf] * 4
+
+    def test_repr(self):
+        assert "total=1.0" in repr(PrivacyBudget(1.0))

@@ -1,0 +1,46 @@
+"""Tests for the exponential mechanism."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PrivacyBudgetError
+from repro.mechanisms.exponential import exponential_mechanism
+
+
+class TestExponentialMechanism:
+    def test_infinite_epsilon_is_argmax(self, rng):
+        scores = np.array([1.0, 5.0, 3.0])
+        for _ in range(10):
+            assert exponential_mechanism(scores, float("inf"), rng=rng) == 1
+
+    def test_prefers_high_scores(self, rng):
+        scores = np.array([0.0, 0.0, 50.0, 0.0])
+        picks = [
+            exponential_mechanism(scores, 1.0, rng=rng) for _ in range(200)
+        ]
+        assert np.mean(np.array(picks) == 2) > 0.9
+
+    def test_low_epsilon_near_uniform(self, rng):
+        scores = np.array([0.0, 100.0])
+        picks = np.array(
+            [exponential_mechanism(scores, 1e-6, rng=rng) for _ in range(2000)]
+        )
+        assert abs((picks == 1).mean() - 0.5) < 0.05
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(PrivacyBudgetError):
+            exponential_mechanism(np.array([]), 1.0)
+
+    def test_nonpositive_epsilon_rejected(self):
+        with pytest.raises(PrivacyBudgetError):
+            exponential_mechanism(np.array([1.0]), -1.0)
+
+    def test_handles_huge_scores(self, rng):
+        """Softmax must be stabilised against overflow."""
+        scores = np.array([1e6, 1e6 + 1])
+        idx = exponential_mechanism(scores, 1.0, rng=rng)
+        assert idx in (0, 1)
+
+    def test_returns_python_int(self, rng):
+        result = exponential_mechanism(np.array([1.0, 2.0]), 1.0, rng=rng)
+        assert isinstance(result, int)

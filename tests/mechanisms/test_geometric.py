@@ -1,0 +1,87 @@
+"""Tests for the two-sided geometric mechanism."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PrivacyBudgetError
+from repro.marginals.table import MarginalTable
+from repro.mechanisms.geometric import (
+    geometric_noise,
+    geometric_noisy_counts,
+    geometric_noisy_marginal,
+    geometric_variance,
+)
+
+
+class TestGeometricNoise:
+    def test_integer_valued(self, rng):
+        noise = geometric_noise(1.0, 1.0, 1000, rng)
+        assert noise.dtype == np.int64
+
+    def test_symmetric_around_zero(self, rng):
+        noise = geometric_noise(1.0, 1.0, 200_000, rng)
+        assert abs(noise.mean()) < 0.02
+
+    def test_empirical_variance_matches_formula(self, rng):
+        noise = geometric_noise(0.5, 1.0, 300_000, rng)
+        assert noise.var() == pytest.approx(
+            geometric_variance(0.5), rel=0.05
+        )
+
+    def test_variance_close_to_laplace_for_small_epsilon(self):
+        """For small eps/sens the geometric approaches Lap(sens/eps)."""
+        from repro.mechanisms.laplace import laplace_variance
+
+        assert geometric_variance(0.05) == pytest.approx(
+            laplace_variance(1 / 0.05), rel=0.05
+        )
+
+    def test_infinite_epsilon_no_noise(self, rng):
+        assert np.all(geometric_noise(float("inf"), 1.0, 10, rng) == 0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(PrivacyBudgetError):
+            geometric_noise(0.0, 1.0, 3)
+        with pytest.raises(PrivacyBudgetError):
+            geometric_noise(1.0, 0.0, 3)
+
+    def test_higher_sensitivity_more_noise(self, rng):
+        low = geometric_noise(1.0, 1.0, 100_000, rng).var()
+        high = geometric_noise(1.0, 10.0, 100_000, rng).var()
+        assert high > 10 * low
+
+
+class TestGeometricCounts:
+    def test_integer_outputs_on_integer_counts(self, rng):
+        counts = np.array([10.0, 20.0, 30.0])
+        noisy = geometric_noisy_counts(counts, 1.0, rng=rng)
+        assert np.allclose(noisy, np.round(noisy))
+
+    def test_marginal_wrapper(self, rng):
+        table = MarginalTable((1, 4), np.full(4, 100.0))
+        noisy = geometric_noisy_marginal(table, 1.0, rng=rng)
+        assert noisy.attrs == (1, 4)
+        assert np.allclose(noisy.counts, np.round(noisy.counts))
+
+    def test_pipeline_integration(self, small_dataset, rng):
+        """Geometric noise drops into the PriView post-processing."""
+        from repro.core.consistency import make_consistent
+        from repro.core.nonnegativity import ripple
+        from repro.covering.repository import best_design
+
+        design = best_design(10, 4, 2)
+        views = [
+            geometric_noisy_marginal(
+                small_dataset.marginal(block),
+                1.0,
+                sensitivity=design.num_blocks,
+                rng=rng,
+            )
+            for block in design.blocks
+        ]
+        make_consistent(views)
+        for view in views:
+            ripple(view)
+        make_consistent(views)
+        totals = [v.total() for v in views]
+        assert np.allclose(totals, totals[0])

@@ -1,0 +1,70 @@
+"""Tests for the Laplace mechanism."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PrivacyBudgetError
+from repro.marginals.table import MarginalTable
+from repro.mechanisms.laplace import (
+    laplace_noise,
+    laplace_variance,
+    noisy_counts,
+    noisy_marginal,
+)
+
+
+class TestLaplaceNoise:
+    def test_zero_scale_is_zero(self):
+        assert np.all(laplace_noise(0.0, 10) == 0.0)
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(PrivacyBudgetError):
+            laplace_noise(-1.0, 3)
+
+    def test_empirical_variance(self, rng):
+        samples = laplace_noise(2.0, 200_000, rng)
+        assert samples.var() == pytest.approx(laplace_variance(2.0), rel=0.05)
+
+    def test_empirical_mean_zero(self, rng):
+        samples = laplace_noise(1.0, 200_000, rng)
+        assert abs(samples.mean()) < 0.02
+
+    def test_shape(self, rng):
+        assert laplace_noise(1.0, (3, 4), rng).shape == (3, 4)
+
+
+class TestNoisyCounts:
+    def test_infinite_epsilon_exact(self, rng):
+        counts = np.array([1.0, 2.0, 3.0])
+        noisy = noisy_counts(counts, float("inf"), rng=rng)
+        assert np.array_equal(noisy, counts)
+        noisy[0] = 99  # returned array is a copy
+        assert counts[0] == 1.0
+
+    def test_nonpositive_epsilon_rejected(self):
+        with pytest.raises(PrivacyBudgetError):
+            noisy_counts(np.zeros(2), 0.0)
+
+    def test_noise_scale_grows_with_sensitivity(self, rng):
+        counts = np.zeros(100_000)
+        small = noisy_counts(counts, 1.0, sensitivity=1.0, rng=rng)
+        large = noisy_counts(counts, 1.0, sensitivity=10.0, rng=rng)
+        assert large.var() == pytest.approx(100 * small.var(), rel=0.2)
+
+    def test_unit_variance(self, rng):
+        """Equation 2: V_u = 2 / eps^2."""
+        noise = noisy_counts(np.zeros(300_000), 0.5, rng=rng)
+        assert noise.var() == pytest.approx(2 / 0.25, rel=0.05)
+
+
+class TestNoisyMarginal:
+    def test_preserves_attrs(self, rng):
+        table = MarginalTable((2, 7), np.ones(4))
+        noisy = noisy_marginal(table, 1.0, rng=rng)
+        assert noisy.attrs == (2, 7)
+        assert noisy.size == 4
+
+    def test_original_untouched(self, rng):
+        table = MarginalTable((0,), np.array([5.0, 5.0]))
+        noisy_marginal(table, 0.01, rng=rng)
+        assert np.array_equal(table.counts, [5.0, 5.0])

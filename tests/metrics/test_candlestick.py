@@ -1,0 +1,36 @@
+"""Tests for candlestick summaries."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionError
+from repro.metrics.candlestick import candlestick
+
+
+class TestCandlestick:
+    def test_ordering_of_statistics(self, rng):
+        candle = candlestick(rng.random(500))
+        assert candle.p25 <= candle.median <= candle.p75 <= candle.p95
+
+    def test_known_values(self):
+        candle = candlestick(np.arange(1, 101, dtype=float))
+        assert candle.median == pytest.approx(50.5)
+        assert candle.mean == pytest.approx(50.5)
+        assert candle.count == 100
+
+    def test_single_value(self):
+        candle = candlestick([3.0])
+        assert candle.p25 == candle.p95 == candle.mean == 3.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(DimensionError):
+            candlestick([])
+
+    def test_as_row_order(self):
+        candle = candlestick([1.0, 2.0, 3.0])
+        row = candle.as_row()
+        assert row == (candle.p25, candle.median, candle.p75, candle.p95,
+                       candle.mean)
+
+    def test_str_mentions_count(self):
+        assert "(n=3)" in str(candlestick([1.0, 2.0, 3.0]))

@@ -1,0 +1,55 @@
+"""Tests for L2 error measures."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionError
+from repro.marginals.table import MarginalTable
+from repro.metrics.l2 import (
+    expected_squared_error,
+    l2_error,
+    normalized_l2_error,
+)
+
+
+class TestL2Error:
+    def test_identical_tables_zero(self):
+        t = MarginalTable((0, 1), np.array([1.0, 2.0, 3.0, 4.0]))
+        assert l2_error(t, t) == 0.0
+
+    def test_known_distance(self):
+        a = MarginalTable((0,), np.array([0.0, 0.0]))
+        b = MarginalTable((0,), np.array([3.0, 4.0]))
+        assert l2_error(a, b) == pytest.approx(5.0)
+
+    def test_symmetric(self, rng):
+        a = MarginalTable((0, 1), rng.random(4))
+        b = MarginalTable((0, 1), rng.random(4))
+        assert l2_error(a, b) == l2_error(b, a)
+
+    def test_attribute_mismatch(self):
+        a = MarginalTable((0,), np.zeros(2))
+        b = MarginalTable((1,), np.zeros(2))
+        with pytest.raises(DimensionError):
+            l2_error(a, b)
+
+
+class TestNormalized:
+    def test_divides_by_n(self):
+        a = MarginalTable((0,), np.array([0.0, 0.0]))
+        b = MarginalTable((0,), np.array([30.0, 40.0]))
+        assert normalized_l2_error(a, b, 100) == pytest.approx(0.5)
+
+    def test_invalid_n(self):
+        t = MarginalTable((0,), np.zeros(2))
+        with pytest.raises(DimensionError):
+            normalized_l2_error(t, t, 0)
+
+
+class TestESE:
+    def test_is_squared_l2(self, rng):
+        a = MarginalTable((0, 1, 2), rng.random(8))
+        b = MarginalTable((0, 1, 2), rng.random(8))
+        assert expected_squared_error(a, b) == pytest.approx(
+            l2_error(a, b) ** 2
+        )

@@ -1,0 +1,88 @@
+"""Tests for the discrete factor mini-library."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionError
+from repro.models.factors import Factor
+
+
+class TestConstruction:
+    def test_rejects_unsorted_vars(self):
+        with pytest.raises(DimensionError):
+            Factor((2, 1), np.zeros(4))
+
+    def test_rejects_wrong_size(self):
+        with pytest.raises(DimensionError):
+            Factor((0, 1), np.zeros(3))
+
+    def test_ones(self):
+        f = Factor.ones((3, 1))
+        assert f.vars == (1, 3)
+        assert np.all(f.values == 1.0)
+
+
+class TestProduct:
+    def test_disjoint_vars_outer_product(self):
+        f = Factor((0,), np.array([2.0, 3.0]))
+        g = Factor((1,), np.array([5.0, 7.0]))
+        h = f.product(g)
+        assert h.vars == (0, 1)
+        # cell i: bit0 = var0, bit1 = var1
+        assert np.allclose(h.values, [10.0, 15.0, 14.0, 21.0])
+
+    def test_shared_vars_pointwise(self):
+        f = Factor((0,), np.array([2.0, 3.0]))
+        g = Factor((0,), np.array([10.0, 100.0]))
+        h = f.product(g)
+        assert h.vars == (0,)
+        assert np.allclose(h.values, [20.0, 300.0])
+
+    def test_partial_overlap(self):
+        f = Factor((0, 1), np.array([1.0, 2.0, 3.0, 4.0]))
+        g = Factor((1, 2), np.array([1.0, 10.0, 100.0, 1000.0]))
+        h = f.product(g)
+        assert h.vars == (0, 1, 2)
+        # check one cell: (x0,x1,x2) = (1,0,1): f[(1,0)]=2, g[(0,1)]=100
+        cell = 1 | (0 << 1) | (1 << 2)
+        assert h.values[cell] == pytest.approx(200.0)
+
+    def test_commutative(self, rng):
+        f = Factor((0, 2), rng.random(4))
+        g = Factor((1, 2), rng.random(4))
+        assert np.allclose(f.product(g).values, g.product(f).values)
+
+
+class TestMarginalize:
+    def test_sums_variable_out(self):
+        f = Factor((0, 1), np.array([1.0, 2.0, 3.0, 4.0]))
+        g = f.marginalize_out(0)
+        assert g.vars == (1,)
+        assert np.allclose(g.values, [3.0, 7.0])
+        h = f.marginalize_out(1)
+        assert np.allclose(h.values, [4.0, 6.0])
+
+    def test_missing_variable(self):
+        with pytest.raises(DimensionError):
+            Factor((0,), np.ones(2)).marginalize_out(3)
+
+    def test_matches_marginal_table_projection(self, rng):
+        from repro.marginals.table import MarginalTable
+
+        values = rng.random(16)
+        factor = Factor((0, 1, 2, 3), values)
+        table = MarginalTable((0, 1, 2, 3), values)
+        reduced = factor.marginalize_out(2).marginalize_out(0)
+        assert np.allclose(
+            reduced.values, table.project((1, 3)).counts
+        )
+
+
+class TestNormalize:
+    def test_sums_to_one(self, rng):
+        f = Factor((0, 1), rng.random(4) * 9).normalized()
+        assert f.values.sum() == pytest.approx(1.0)
+
+    def test_degenerate_uniform(self):
+        f = Factor((0,), np.zeros(2)).normalized()
+        assert np.allclose(f.values, 0.5)

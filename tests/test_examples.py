@@ -1,0 +1,53 @@
+"""Smoke checks for the example scripts.
+
+Full executions take minutes (they use realistic dataset sizes), so
+the default suite verifies that every example imports cleanly and
+exposes a ``main``; set ``REPRO_RUN_EXAMPLES=1`` to execute them.
+"""
+
+import importlib.util
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[1] / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_imports_and_has_main(path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    assert callable(getattr(module, "main", None)), f"{path.name} lacks main()"
+
+
+def test_examples_present():
+    """The repository ships at least the five documented scenarios."""
+    names = {p.stem for p in EXAMPLES}
+    assert {
+        "quickstart",
+        "clickstream_release",
+        "correlated_sequences",
+        "mechanism_comparison",
+        "categorical_survey",
+        "graphical_model",
+    } <= names
+
+
+@pytest.mark.skipif(
+    not os.environ.get("REPRO_RUN_EXAMPLES"),
+    reason="set REPRO_RUN_EXAMPLES=1 to execute the examples end to end",
+)
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(path):
+    completed = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=900,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]

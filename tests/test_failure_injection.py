@@ -1,0 +1,141 @@
+"""Failure-injection tests: degenerate and corrupted inputs.
+
+A release pipeline meets hostile conditions in practice — empty
+datasets, constant columns, absurd privacy budgets, corrupted synopsis
+files, adversarial view tables.  These tests pin down that every
+failure either produces a *usable* answer or a typed ``ReproError``,
+never a crash or silent nonsense.
+"""
+
+import numpy as np
+import pytest
+
+from repro import BinaryDataset, PriView
+from repro.core.consistency import make_consistent
+from repro.core.reconstruction import reconstruct
+from repro.core.serialization import load_synopsis, save_synopsis
+from repro.covering.design import CoveringDesign
+from repro.covering.repository import best_design
+from repro.exceptions import DatasetError, ReproError
+from repro.marginals.table import MarginalTable
+
+DESIGN = CoveringDesign(
+    6, 3, 1, ((0, 1, 2), (2, 3, 4), (3, 4, 5), (0, 2, 4), (1, 3, 5))
+)
+
+
+class TestDegenerateDatasets:
+    def test_empty_dataset_pipeline(self):
+        dataset = BinaryDataset(np.zeros((0, 6), dtype=np.uint8))
+        synopsis = PriView(1.0, design=DESIGN, seed=0).fit(dataset)
+        table = synopsis.marginal((0, 3))
+        assert np.all(np.isfinite(table.counts))
+        assert table.counts.min() >= 0.0
+
+    def test_single_record_dataset(self):
+        dataset = BinaryDataset(np.ones((1, 6), dtype=np.uint8))
+        synopsis = PriView(1.0, design=DESIGN, seed=0).fit(dataset)
+        assert np.all(np.isfinite(synopsis.marginal((0, 5)).counts))
+
+    def test_constant_columns(self):
+        data = np.zeros((500, 6), dtype=np.uint8)
+        data[:, 3] = 1
+        dataset = BinaryDataset(data)
+        synopsis = PriView(float("inf"), design=DESIGN, seed=0).fit(dataset)
+        table = synopsis.marginal((2, 3))
+        truth = dataset.marginal((2, 3))
+        assert np.allclose(table.counts, truth.counts, atol=1e-6)
+
+    def test_tiny_epsilon_still_finite(self):
+        dataset = BinaryDataset.random(
+            200, 6, rng=np.random.default_rng(0)
+        )
+        synopsis = PriView(1e-6, design=DESIGN, seed=0).fit(dataset)
+        table = synopsis.marginal((0, 1, 3))
+        assert np.all(np.isfinite(table.counts))
+        assert table.counts.min() >= -1e-6
+
+
+class TestAdversarialViews:
+    def test_all_negative_views_survive_pipeline(self):
+        views = [
+            MarginalTable(attrs, -np.ones(8) * 5)
+            for attrs in [(0, 1, 2), (2, 3, 4)]
+        ]
+        make_consistent(views)
+        # reconstruction of an uncovered set still yields finite cells
+        table = reconstruct(views, (1, 3), method="maxent")
+        assert np.all(np.isfinite(table.counts))
+
+    def test_huge_counts_no_overflow(self):
+        views = [
+            MarginalTable(attrs, np.full(8, 1e15))
+            for attrs in [(0, 1, 2), (2, 3, 4)]
+        ]
+        make_consistent(views)
+        table = reconstruct(views, (1, 3), method="maxent")
+        assert np.all(np.isfinite(table.counts))
+        assert table.total() == pytest.approx(8e15, rel=1e-6)
+
+    def test_nan_views_rejected_or_contained(self):
+        """NaNs must not silently propagate into *valid-looking*
+        answers: the result is either an error or visibly NaN."""
+        views = [
+            MarginalTable((0, 1, 2), np.full(8, np.nan)),
+            MarginalTable((2, 3, 4), np.ones(8)),
+        ]
+        try:
+            table = reconstruct(views, (1, 3), method="maxent")
+        except ReproError:
+            return
+        assert not np.all(np.isfinite(table.counts))
+
+
+class TestCorruptedFiles:
+    def test_truncated_synopsis_file(self, tmp_path, small_dataset):
+        design = best_design(10, 4, 2)
+        synopsis = PriView(1.0, design=design, seed=0).fit(small_dataset)
+        path = save_synopsis(synopsis, tmp_path / "synopsis.npz")
+        payload = path.read_bytes()
+        path.write_bytes(payload[: len(payload) // 2])
+        with pytest.raises(Exception):
+            load_synopsis(path)
+
+    def test_not_a_synopsis_file(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, noise=np.arange(4))
+        with pytest.raises((DatasetError, KeyError)):
+            load_synopsis(path)
+
+    def test_garbage_design_file(self, tmp_path, monkeypatch):
+        from repro.covering import repository
+
+        bad = tmp_path / repository.design_filename(12, 4, 2)
+        bad.write_text("12 4 2\n1 2 3\n")  # wrong block length
+        monkeypatch.setattr(repository, "_data_dir", lambda: tmp_path)
+        from repro.exceptions import DesignError
+
+        with pytest.raises(DesignError):
+            repository.load_bundled_design(12, 4, 2)
+
+
+class TestSolverStress:
+    def test_many_redundant_constraints(self):
+        """Hundreds of mutually consistent constraints: IPF stays
+        stable and satisfies them."""
+        rng = np.random.default_rng(0)
+        base = MarginalTable((0, 1, 2, 3), rng.random(16) * 100)
+        views = [base.copy() for _ in range(50)]
+        make_consistent(views)
+        table = reconstruct(views, (0, 2), method="maxent")
+        assert np.allclose(
+            table.counts, base.project((0, 2)).counts, rtol=1e-6
+        )
+
+    def test_contradictory_constraints_lp(self):
+        """Wildly contradictory raw views: LP finds a compromise."""
+        v1 = MarginalTable((0, 1), np.array([100.0, 0.0, 0.0, 0.0]))
+        v2 = MarginalTable((1, 2), np.array([0.0, 0.0, 0.0, 100.0]))
+        table = reconstruct([v1, v2], (0, 1, 2), method="lp")
+        assert np.all(np.isfinite(table.counts))
+        assert table.counts.min() >= 0.0
