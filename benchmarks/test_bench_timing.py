@@ -6,9 +6,13 @@ Absolute times differ from the 2013 testbed; the shape must hold:
 t=2 pipelines are much cheaper than t=3, Q8 much costlier than Q6.
 """
 
+import json
+import pathlib
+
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.core.priview import PriView
 from repro.covering.repository import best_design
 from repro.experiments import timing
@@ -61,3 +65,30 @@ def test_bench_q8_reconstruction(benchmark, scale):
     rng = np.random.default_rng(0)
     attrs = timing._uncovered_query(design, 32, 8, rng)
     benchmark(lambda: synopsis.marginal(attrs))
+
+
+def test_bench_obs_export(scale):
+    """Emit BENCH_obs.json: per-stage wall time + counters for one
+    traced Kosarak pipeline — the machine-readable perf trajectory that
+    later optimisation PRs diff against."""
+    dataset = experiment_dataset("kosarak", scale)
+    design = best_design(32, 8, 2)
+    rng = np.random.default_rng(0)
+    with obs.session() as sess:
+        synopsis = PriView(1.0, design=design, seed=0).fit(dataset)
+        with obs.span("q6"):
+            synopsis.marginal(timing._uncovered_query(design, 32, 6, rng))
+        with obs.span("q8"):
+            synopsis.marginal(timing._uncovered_query(design, 32, 8, rng))
+        sess.ledger.check()
+        payload = {
+            "benchmark": "priview_kosarak_C_2(8,20)",
+            "scale": scale.name,
+            "stages": obs.flatten_stages(sess.tracer.roots),
+            "metrics": sess.metrics.snapshot(),
+            "ledger": sess.ledger.to_dicts(),
+        }
+    out = pathlib.Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    assert payload["stages"]["priview.fit"]["seconds"] > 0
+    assert payload["ledger"][0]["status"] == "exact"

@@ -1,0 +1,78 @@
+"""Smoke-check the cost of the observability instrumentation.
+
+Run from the repository root::
+
+    python scripts/check_obs_overhead.py [--repeats 5] [--budget 1.03]
+
+Times ``PriView.fit`` on the quick-scale Kosarak protocol twice: with
+observability disabled (no active session — the production default)
+and with a full tracing/ledger session active.  The disabled path must
+cost essentially nothing (it is a global ``None`` check per
+instrumentation point), and the enabled path must stay within the
+given budget of the disabled one.  Exits non-zero when the enabled /
+disabled ratio exceeds ``--budget``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import statistics
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro import obs
+from repro.core.priview import PriView
+from repro.covering.repository import best_design
+from repro.experiments.config import get_scale
+from repro.experiments.data import experiment_dataset
+
+
+def time_fits(dataset, design, repeats: int) -> list[float]:
+    times = []
+    for seed in range(repeats):
+        start = time.perf_counter()
+        PriView(1.0, design=design, seed=seed).fit(dataset)
+        times.append(time.perf_counter() - start)
+    return times
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument(
+        "--budget", type=float, default=1.03,
+        help="max allowed enabled/disabled median ratio (default 1.03)",
+    )
+    parser.add_argument("--scale", default="quick")
+    args = parser.parse_args()
+
+    scale = get_scale(args.scale)
+    dataset = experiment_dataset("kosarak", scale)
+    design = best_design(32, 8, 2)
+
+    # Warm caches (projection maps, design lookup) out of the measurement.
+    PriView(1.0, design=design, seed=0).fit(dataset)
+
+    assert not obs.enabled(), "no session must be active for the baseline"
+    disabled = time_fits(dataset, design, args.repeats)
+    with obs.session():
+        enabled = time_fits(dataset, design, args.repeats)
+
+    dis, ena = statistics.median(disabled), statistics.median(enabled)
+    ratio = ena / dis
+    print(f"PriView.fit median over {args.repeats} runs (scale={scale.name}):")
+    print(f"  observability disabled: {dis * 1e3:9.2f} ms")
+    print(f"  observability enabled:  {ena * 1e3:9.2f} ms")
+    print(f"  enabled/disabled ratio: {ratio:9.4f}  (budget {args.budget})")
+    if ratio > args.budget:
+        print("FAIL: instrumentation overhead exceeds budget", file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

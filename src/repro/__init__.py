@@ -33,6 +33,9 @@ Package map
     Error measures and the paper's closed-form error analysis.
 ``repro.experiments``
     Drivers reproducing every table and figure of the evaluation.
+``repro.obs``
+    Tracing spans, pipeline counters, and the privacy-budget ledger
+    (see ``docs/OBSERVABILITY.md``); inert unless a session is active.
 """
 
 from repro.core import PriView, PriViewSynopsis

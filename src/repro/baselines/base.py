@@ -6,6 +6,7 @@ import abc
 
 import numpy as np
 
+from repro import obs
 from repro.exceptions import PrivacyBudgetError, ReconstructionError
 from repro.marginals.dataset import BinaryDataset
 from repro.marginals.table import MarginalTable
@@ -30,10 +31,19 @@ class MarginalReleaseMechanism(abc.ABC):
         self._fitted = False
 
     def fit(self, dataset: BinaryDataset) -> "MarginalReleaseMechanism":
-        """Consume the private dataset; returns self for chaining."""
+        """Consume the private dataset; returns self for chaining.
+
+        Under an observability session the fit is wrapped in a span and
+        a (non-strict) budget scope named after the mechanism, so every
+        noise draw it performs is attributed to it in ledger audits.
+        """
         self._num_attributes = dataset.num_attributes
         self._num_records = dataset.num_records
-        self._fit(dataset)
+        scope_name = f"{self.name}.fit"
+        with obs.span(scope_name), obs.budget_scope(
+            scope_name, self.epsilon, strict=False
+        ):
+            self._fit(dataset)
         self._fitted = True
         return self
 

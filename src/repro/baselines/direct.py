@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import math
 
+from repro import obs
 from repro.baselines.base import MarginalReleaseMechanism
 from repro.core.nonnegativity import apply_nonnegativity
 from repro.marginals.dataset import BinaryDataset
@@ -58,12 +59,18 @@ class DirectMethod(MarginalReleaseMechanism):
                 f"Direct released {self.k}-way marginals; asked for {len(attrs)}-way"
             )
         if attrs not in self._cache:
-            table = noisy_marginal(
-                self._dataset.marginal(attrs),
-                self.epsilon,
-                sensitivity=self._num_marginals,
-                rng=self._rng,
-            )
+            # The release is sampled lazily, so the draw happens outside
+            # fit(); attribute it to a named (non-strict) scope so ledger
+            # audits explain why Direct.fit itself spends nothing.
+            with obs.budget_scope(
+                f"{self.name}.lazy_release", self.epsilon, strict=False
+            ):
+                table = noisy_marginal(
+                    self._dataset.marginal(attrs),
+                    self.epsilon,
+                    sensitivity=self._num_marginals,
+                    rng=self._rng,
+                )
             apply_nonnegativity(table, self.nonnegativity)
             self._cache[attrs] = table
         return self._cache[attrs].copy()

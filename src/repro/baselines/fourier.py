@@ -29,6 +29,7 @@ import math
 import numpy as np
 from scipy import optimize
 
+from repro import obs
 from repro.baselines.base import MarginalReleaseMechanism
 from repro.core.nonnegativity import apply_nonnegativity
 from repro.exceptions import DimensionError, ReconstructionError
@@ -102,7 +103,12 @@ class FourierMethod(MarginalReleaseMechanism):
         if attrs not in self._cache:
             true = self._dataset.marginal(attrs)
             theta = walsh_hadamard(true.counts)
-            theta = noisy_counts(theta, self.epsilon, self._m, self._rng)
+            # Lazily sampled release (see Direct): give the query-time
+            # draw a named scope so ledger audits can attribute it.
+            with obs.budget_scope(
+                f"{self.name}.lazy_release", self.epsilon, strict=False
+            ):
+                theta = noisy_counts(theta, self.epsilon, self._m, self._rng)
             counts = walsh_hadamard(theta) / true.size
             table = MarginalTable(attrs, counts)
             apply_nonnegativity(table, self.nonnegativity)
@@ -145,11 +151,23 @@ class FourierLPMethod(MarginalReleaseMechanism):
         weights = _coefficient_weights(d)
         released = np.flatnonzero(weights <= self.k_max)
         m = released.size
-        noisy = theta[released] + (
-            np.zeros(m)
-            if np.isinf(self.epsilon)
-            else self._rng.laplace(scale=m / self.epsilon, size=m)
-        )
+        if np.isinf(self.epsilon):
+            noisy = theta[released]
+        else:
+            noisy = theta[released] + self._rng.laplace(
+                scale=m / self.epsilon, size=m
+            )
+            # One shot measures all m coefficients: the call consumes
+            # the full epsilon, not epsilon/m per the lazy convention.
+            obs.record_draw(
+                "laplace",
+                epsilon=self.epsilon,
+                sensitivity=m,
+                scale=m / self.epsilon,
+                draws=m,
+                divide_by_sensitivity=False,
+                label="fourier_coefficients",
+            )
         self._table = FullContingencyTable(d, self._solve_lp(d, released, noisy))
 
     def _solve_lp(

@@ -24,6 +24,7 @@ import math
 
 import numpy as np
 
+from repro import obs
 from repro.baselines.base import MarginalReleaseMechanism
 from repro.baselines.fourier import fourier_coefficient_count, walsh_hadamard
 from repro.marginals.dataset import BinaryDataset
@@ -83,9 +84,22 @@ class LearningMethod(MarginalReleaseMechanism):
             theta[weights > self.degree] = 0.0
             kept = weights <= self.degree
             if not np.isinf(self.epsilon):
-                theta[kept] += self._rng.laplace(
-                    scale=self._m / self.epsilon, size=int(kept.sum())
-                )
+                # Lazily sampled release: attribute the query-time draw
+                # to a named (non-strict) scope, like Direct/Fourier.
+                with obs.budget_scope(
+                    f"{self.name}.lazy_release", self.epsilon, strict=False
+                ):
+                    theta[kept] += self._rng.laplace(
+                        scale=self._m / self.epsilon, size=int(kept.sum())
+                    )
+                    obs.record_draw(
+                        "laplace",
+                        epsilon=self.epsilon,
+                        sensitivity=self._m,
+                        scale=self._m / self.epsilon,
+                        draws=int(kept.sum()),
+                        label="learning_coefficients",
+                    )
             counts = walsh_hadamard(theta) / true.size
             self._cache[attrs] = MarginalTable(attrs, counts)
         return self._cache[attrs].copy()

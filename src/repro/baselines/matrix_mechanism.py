@@ -29,6 +29,7 @@ import math
 
 import numpy as np
 
+from repro import obs
 from repro.baselines.base import MarginalReleaseMechanism
 from repro.exceptions import ReconstructionError
 from repro.marginals.contingency import FullContingencyTable
@@ -148,6 +149,17 @@ class MatrixMechanism(MarginalReleaseMechanism):
         if not np.isinf(self.epsilon):
             answers = answers + self._rng.laplace(
                 scale=sensitivity / self.epsilon, size=answers.size
+            )
+            # One measurement of the whole strategy consumes the full
+            # epsilon (sensitivity is already folded into the scale).
+            obs.record_draw(
+                "laplace",
+                epsilon=self.epsilon,
+                sensitivity=sensitivity,
+                scale=sensitivity / self.epsilon,
+                draws=int(answers.size),
+                divide_by_sensitivity=False,
+                label="strategy_measurement",
             )
         x_hat = np.linalg.pinv(a) @ answers
         self._table = FullContingencyTable(d, x_hat)

@@ -26,6 +26,7 @@ import math
 
 import numpy as np
 
+from repro import obs
 from repro.baselines.base import MarginalReleaseMechanism
 from repro.marginals.contingency import FullContingencyTable
 from repro.marginals.dataset import BinaryDataset
@@ -104,13 +105,22 @@ class MWEMMethod(MarginalReleaseMechanism):
             chosen = exponential_mechanism(
                 scores, eps_round / 2.0, sensitivity=1.0, rng=self._rng
             )
-            noisy = true_marginals[chosen] + (
-                np.zeros(true_marginals[chosen].size)
-                if np.isinf(self.epsilon)
-                else self._rng.laplace(
+            if np.isinf(self.epsilon):
+                noisy = true_marginals[chosen].copy()
+            else:
+                noisy = true_marginals[chosen] + self._rng.laplace(
                     scale=2.0 / eps_round, size=true_marginals[chosen].size
                 )
-            )
+                # The measurement takes the other half of the round's
+                # budget (the selection above recorded the first half).
+                obs.record_draw(
+                    "laplace",
+                    epsilon=eps_round / 2.0,
+                    sensitivity=1.0,
+                    scale=2.0 / eps_round,
+                    draws=int(true_marginals[chosen].size),
+                    label="mwem_measurement",
+                )
             measurements.append((chosen, noisy))
             sweeps = self.replays if self.enhanced else 1
             for _ in range(sweeps):

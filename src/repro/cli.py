@@ -4,17 +4,28 @@ Examples::
 
     python -m repro list
     python -m repro run figure1 --scale quick
-    python -m repro run figure2 --scale paper --seed 3
-    python -m repro run all --scale medium
+    python -m repro run figure1 --scale quick --trace
+    python -m repro run figure2 --scale paper --seed 3 --log-level info
+    python -m repro run all --scale medium --trace-out results/trace.jsonl
+
+``--trace`` prints, after each experiment's report, a nested
+stage-timing tree, the pipeline counters, and a privacy-budget ledger
+audit whose per-fit epsilon totals are checked against the configured
+epsilon (see ``docs/OBSERVABILITY.md``).  ``run all`` keeps going past
+a failing experiment, logs the failure, and exits non-zero at the end.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import nullcontext
 
+from repro import obs
 from repro.experiments.config import SCALES
 from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.obs.exporters import JsonLinesExporter, render_summary
+from repro.obs.log import LEVELS, configure_logging, get_logger
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -39,6 +50,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--chart", action="store_true",
         help="append a log-scale ASCII chart per figure",
     )
+    run_parser.add_argument(
+        "--trace", action="store_true",
+        help="print a stage-timing tree and privacy-budget audit per experiment",
+    )
+    run_parser.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="also write spans and summaries as JSON lines to PATH",
+    )
+    run_parser.add_argument(
+        "--log-level", choices=LEVELS, default=None,
+        help="logging verbosity on stderr (default: warning)",
+    )
     return parser
 
 
@@ -48,17 +71,49 @@ def main(argv=None) -> int:
         for experiment_id in sorted(EXPERIMENTS):
             print(experiment_id)
         return 0
+
+    configure_logging(args.log_level)
+    log = get_logger("cli")
     targets = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    run_all = args.experiment == "all"
+    tracing = args.trace or args.trace_out is not None
+    jsonl = JsonLinesExporter(args.trace_out) if args.trace_out else None
+
+    failures: list[str] = []
     for experiment_id in targets:
-        print(
-            run_experiment(
-                experiment_id,
-                scale=args.scale,
-                seed=args.seed,
-                chart=args.chart,
-            )
+        # One observability session per experiment keeps the trace trees
+        # and budget scopes attributable to a single report.
+        context = (
+            obs.session(exporters=[jsonl] if jsonl else [])
+            if tracing
+            else nullcontext(None)
         )
+        try:
+            with context as sess:
+                report = run_experiment(
+                    experiment_id,
+                    scale=args.scale,
+                    seed=args.seed,
+                    chart=args.chart,
+                )
+        except Exception:
+            if not run_all:
+                raise
+            log.exception("experiment %s failed; continuing with the rest", experiment_id)
+            failures.append(experiment_id)
+            continue
+        print(report)
+        if sess is not None and args.trace:
+            print()
+            print(render_summary(sess))
         print()
+
+    if failures:
+        log.error(
+            "%d of %d experiments failed: %s",
+            len(failures), len(targets), ", ".join(failures),
+        )
+        return 1
     return 0
 
 

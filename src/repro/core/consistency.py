@@ -10,6 +10,7 @@ averaging reduces the noise variance on shared information.
 
 from __future__ import annotations
 
+from repro import obs
 from repro.marginals.table import MarginalTable
 
 
@@ -78,6 +79,7 @@ def make_consistent(tables: list[MarginalTable]) -> list[tuple[int, ...]]:
     """
     order = intersection_closure([t.attrs for t in tables])
     table_attr_sets = [frozenset(t.attrs) for t in tables]
+    updates = 0
     for attrs in order:
         target = frozenset(attrs)
         involved = [
@@ -85,5 +87,9 @@ def make_consistent(tables: list[MarginalTable]) -> list[tuple[int, ...]]:
             for t, attr_set in zip(tables, table_attr_sets)
             if target <= attr_set
         ]
+        if len(involved) >= 2:
+            updates += len(involved)
         mutual_consistency(involved, attrs)
+    obs.incr("consistency.sets_processed", len(order))
+    obs.incr("consistency.table_updates", updates)
     return order

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.exceptions import ReconstructionError
 from repro.marginals.projection import cell_neighbours
 from repro.marginals.table import MarginalTable
@@ -52,11 +53,13 @@ def ripple(table: MarginalTable, theta: float = DEFAULT_THETA) -> int:
     neighbours = cell_neighbours(arity)
     counts = table.counts
     passes = 0
+    cells_clipped = 0
     while passes < MAX_RIPPLE_PASSES:
         negative = np.flatnonzero(counts < -theta)
         if negative.size == 0:
             break
         passes += 1
+        cells_clipped += int(negative.size)
         removed = counts[negative].copy()
         counts[negative] = 0.0
         share = np.repeat(removed / arity, arity)
@@ -65,6 +68,8 @@ def ripple(table: MarginalTable, theta: float = DEFAULT_THETA) -> int:
         raise ReconstructionError(
             f"Ripple did not settle within {MAX_RIPPLE_PASSES} passes"
         )
+    obs.incr("ripple.passes", passes)
+    obs.incr("ripple.cells_clipped", cells_clipped)
     return passes
 
 
@@ -73,6 +78,8 @@ def simple_clamp(table: MarginalTable) -> None:
 
     Biases totals upward — kept only as an evaluation baseline.
     """
+    if obs.enabled():
+        obs.incr("nonneg.cells_clipped", int((table.counts < 0).sum()))
     np.maximum(table.counts, 0.0, out=table.counts)
 
 
@@ -88,6 +95,8 @@ def global_redistribute(table: MarginalTable, max_passes: int = 1000) -> None:
         negative = counts < 0
         if not negative.any():
             return
+        if obs.enabled():
+            obs.incr("nonneg.cells_clipped", int(negative.sum()))
         deficit = -counts[negative].sum()
         counts[negative] = 0.0
         positive = counts > 0

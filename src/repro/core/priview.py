@@ -16,11 +16,13 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.core.consistency import make_consistent
 from repro.core.nonnegativity import DEFAULT_THETA, apply_nonnegativity
 from repro.core.synopsis import PriViewSynopsis
 from repro.core.view_selection import (
     DEFAULT_VIEW_WIDTH,
+    RECORD_COUNT_EPSILON,
     noisy_record_count,
     select_views,
 )
@@ -123,20 +125,40 @@ class PriView:
         same list for convenience.
         """
         if self.consistency:
-            make_consistent(views)
+            with obs.span("consistency"):
+                make_consistent(views)
         rounds = self.nonneg_rounds if self.nonnegativity != "none" else 0
         for _ in range(rounds):
-            for view in views:
-                apply_nonnegativity(view, self.nonnegativity, theta=self.theta)
+            with obs.span("nonnegativity"):
+                for view in views:
+                    apply_nonnegativity(view, self.nonnegativity, theta=self.theta)
             if self.consistency:
-                make_consistent(views)
+                with obs.span("consistency"):
+                    make_consistent(views)
         return views
 
     def fit(self, dataset: BinaryDataset) -> PriViewSynopsis:
-        """Run the full pipeline and return the private synopsis."""
-        design = self.choose_design(dataset)
-        views = self.generate_noisy_views(dataset, design)
-        views = self.post_process(views)
+        """Run the full pipeline and return the private synopsis.
+
+        Under an observability session the fit is traced stage by stage
+        and every noise draw lands in a strict ``PriView.fit`` budget
+        scope.  The scope's configured total is ``epsilon`` plus — when
+        the design is chosen automatically under finite budget — the
+        paper's ``RECORD_COUNT_EPSILON`` sliver for the noisy record
+        count, so the ledger audit balances exactly.
+        """
+        configured = self.epsilon
+        if self.design is None and not np.isinf(self.epsilon):
+            configured = self.epsilon + RECORD_COUNT_EPSILON
+        with obs.span("priview.fit"), obs.budget_scope("PriView.fit", configured):
+            with obs.span("choose_design"):
+                design = self.choose_design(dataset)
+            obs.set_gauge("priview.design_blocks", design.num_blocks)
+            obs.set_gauge("priview.design_width", design.block_size)
+            with obs.span("noisy_views"):
+                views = self.generate_noisy_views(dataset, design)
+            with obs.span("post_process"):
+                views = self.post_process(views)
         return PriViewSynopsis(
             design=design,
             views=views,

@@ -12,6 +12,7 @@ requested solver combines the views' partial information:
 
 from __future__ import annotations
 
+from repro import obs
 from repro.core.reconstruction.constraints import (
     MarginalConstraint,
     build_constraint_system,
@@ -61,16 +62,21 @@ def reconstruct(
             f"choose from {RECONSTRUCTION_METHODS}"
         )
     target = _as_sorted_attrs(target_attrs)
-    if use_covering_view:
-        cover = covering_view(views, target)
-        if cover is not None:
-            return cover.project(target)
-    keep_maximal = method != "lp"
-    constraints = extract_constraints(views, target, keep_maximal_only=keep_maximal)
-    total = float(
-        sum(v.total() for v in views) / len(views)
-    ) if views else 0.0
-    return _SOLVERS[method](constraints, target, total)
+    with obs.span("reconstruct"):
+        if use_covering_view:
+            cover = covering_view(views, target)
+            if cover is not None:
+                obs.incr("reconstruct.covered")
+                return cover.project(target)
+        obs.incr(f"reconstruct.{method}")
+        keep_maximal = method != "lp"
+        constraints = extract_constraints(
+            views, target, keep_maximal_only=keep_maximal
+        )
+        total = float(
+            sum(v.total() for v in views) / len(views)
+        ) if views else 0.0
+        return _SOLVERS[method](constraints, target, total)
 
 
 __all__ = [

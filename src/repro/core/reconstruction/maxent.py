@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.core.reconstruction.constraints import MarginalConstraint
 from repro.exceptions import ReconstructionError
 from repro.marginals.projection import projection_map, subset_positions
@@ -70,13 +71,22 @@ def maxent(
     Returns
     -------
     MarginalTable
-        Non-negative table over ``target_attrs`` summing to ``total``.
+        Non-negative table over ``target_attrs`` summing to ``total``,
+        with the convergence record (iterations, final residual,
+        whether the damped fallback ran) in ``table.meta["maxent"]``.
     """
     target = _as_sorted_attrs(target_attrs)
     k = len(target)
     total = max(float(total), _TINY)
     if not constraints:
-        return MarginalTable.uniform(target, total)
+        table = MarginalTable.uniform(target, total)
+        table.meta["maxent"] = {
+            "iterations": 0,
+            "residual": 0.0,
+            "converged": True,
+            "damped": False,
+        }
+        return table
 
     prepared = []
     for attrs_arr, tgt in _prepare_targets(constraints, total):
@@ -85,12 +95,28 @@ def maxent(
         prepared.append((pmap, tgt))
 
     cells = np.full(1 << k, total / (1 << k))
-    mismatch = _ipf_sweeps(cells, prepared, total, max_cycles, tol, damping=1.0)
-    if mismatch > tol:
+    mismatch, cycles = _ipf_sweeps(
+        cells, prepared, total, max_cycles, tol, damping=1.0
+    )
+    damped = mismatch > tol
+    if damped:
         # Progressive relaxation: damped multiplicative updates converge
         # to a compromise when the targets are (slightly) inconsistent.
-        mismatch = _ipf_sweeps(cells, prepared, total, max_cycles, tol, damping=0.5)
-    return MarginalTable(target, cells)
+        mismatch, extra = _ipf_sweeps(
+            cells, prepared, total, max_cycles, tol, damping=0.5
+        )
+        cycles += extra
+    obs.incr("maxent.calls")
+    obs.incr("maxent.sweeps", cycles)
+    obs.set_gauge("maxent.last_residual", mismatch)
+    table = MarginalTable(target, cells)
+    table.meta["maxent"] = {
+        "iterations": cycles,
+        "residual": mismatch,
+        "converged": mismatch <= tol,
+        "damped": damped,
+    }
+    return table
 
 
 def _ipf_sweeps(
@@ -100,10 +126,12 @@ def _ipf_sweeps(
     max_cycles: int,
     tol: float,
     damping: float,
-) -> float:
-    """Run IPF sweeps in place; returns the final relative mismatch."""
+) -> tuple[float, int]:
+    """Run IPF sweeps in place; returns (final relative mismatch, sweeps)."""
     mismatch = np.inf
+    cycles = 0
     for _ in range(max_cycles):
+        cycles += 1
         mismatch = 0.0
         for pmap, tgt in prepared:
             current = np.bincount(pmap, weights=cells, minlength=tgt.size)
@@ -119,7 +147,7 @@ def _ipf_sweeps(
         mismatch /= total
         if mismatch < tol:
             break
-    return mismatch
+    return mismatch, cycles
 
 
 def maxent_dual(
@@ -140,7 +168,14 @@ def maxent_dual(
     target = _as_sorted_attrs(target_attrs)
     total = max(float(total), _TINY)
     if not constraints:
-        return MarginalTable.uniform(target, total)
+        table = MarginalTable.uniform(target, total)
+        table.meta["maxent"] = {
+            "iterations": 0,
+            "residual": 0.0,
+            "converged": True,
+            "damped": False,
+        }
+        return table
     matrix, rhs = build_constraint_system(constraints, target)
     rhs = np.maximum(rhs, 0.0)
     # Work with probabilities: b are target probabilities per row.
@@ -170,4 +205,13 @@ def maxent_dual(
     theta -= theta.max()
     weights = np.exp(theta)
     cells = total * weights / weights.sum()
-    return MarginalTable(target, cells)
+    obs.incr("maxent_dual.calls")
+    obs.incr("maxent_dual.iterations", int(result.nit))
+    table = MarginalTable(target, cells)
+    table.meta["maxent"] = {
+        "iterations": int(result.nit),
+        "residual": float(np.abs(np.asarray(result.jac)).max()),
+        "converged": bool(result.success),
+        "damped": False,
+    }
+    return table

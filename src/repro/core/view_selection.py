@@ -13,6 +13,7 @@ import math
 
 import numpy as np
 
+from repro import obs
 from repro.covering.design import CoveringDesign
 from repro.covering.repository import best_design
 from repro.exceptions import DesignError
@@ -22,6 +23,11 @@ NOISE_ERROR_BAND = (0.001, 0.003)
 
 #: The paper's recommended view width.
 DEFAULT_VIEW_WIDTH = 8
+
+#: Budget sliver the paper suggests for the noisy record count that
+#: steers the choice of ``t`` — tracked explicitly so budget audits can
+#: account for it (``PriView.fit`` adds it to its configured total).
+RECORD_COUNT_EPSILON = 0.001
 
 
 def priview_noise_error(
@@ -97,15 +103,20 @@ def select_views(
     spending a sliver of budget on a noisy count); only its order of
     magnitude matters.
     """
-    block_size = min(block_size, num_attributes)
-    if strength is None:
-        strength = choose_strength(num_records, num_attributes, epsilon, block_size)
-    return best_design(num_attributes, block_size, strength)
+    with obs.span("select_views"):
+        block_size = min(block_size, num_attributes)
+        if strength is None:
+            strength = choose_strength(
+                num_records, num_attributes, epsilon, block_size
+            )
+        design = best_design(num_attributes, block_size, strength)
+    obs.set_gauge("view_selection.strength", strength)
+    return design
 
 
 def noisy_record_count(
     num_records: int,
-    epsilon: float = 0.001,
+    epsilon: float = RECORD_COUNT_EPSILON,
     rng: np.random.Generator | None = None,
 ) -> float:
     """A differentially private estimate of N (sensitivity 1).
@@ -114,4 +125,12 @@ def noisy_record_count(
     choice of ``t``, so very coarse is fine.
     """
     rng = rng or np.random.default_rng()
+    obs.record_draw(
+        "laplace",
+        epsilon=epsilon,
+        sensitivity=1.0,
+        scale=1.0 / epsilon,
+        draws=1,
+        label="record_count",
+    )
     return max(1.0, num_records + rng.laplace(scale=1.0 / epsilon))

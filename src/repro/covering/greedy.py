@@ -14,6 +14,7 @@ import itertools
 
 import numpy as np
 
+from repro import obs
 from repro.covering.design import CoveringDesign
 from repro.exceptions import DesignError
 
@@ -41,11 +42,13 @@ def greedy_cover(
     uncovered = _all_tsets(num_points, strength)
     blocks: list[tuple[int, ...]] = []
 
-    while uncovered:
-        block = _grow_block(num_points, block_size, strength, uncovered, rng)
-        blocks.append(block)
-        uncovered.difference_update(itertools.combinations(block, strength))
+    with obs.span("covering.greedy"):
+        while uncovered:
+            block = _grow_block(num_points, block_size, strength, uncovered, rng)
+            blocks.append(block)
+            uncovered.difference_update(itertools.combinations(block, strength))
 
+    obs.incr("covering.greedy_blocks", len(blocks))
     design = CoveringDesign(num_points, block_size, strength, tuple(blocks))
     return _cover_isolated_points(design)
 

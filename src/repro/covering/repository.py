@@ -20,6 +20,7 @@ import pathlib
 
 import numpy as np
 
+from repro import obs
 from repro.covering.algebraic import affine_plane_design, grid_mols_design
 from repro.covering.design import CoveringDesign
 from repro.covering.greedy import greedy_cover
@@ -98,6 +99,17 @@ def construct_design(
     trying to shave one block off the best design found so far.
     """
     rng = rng or np.random.default_rng(0)
+    with obs.span("covering.construct"):
+        return _construct_design(num_points, block_size, strength, rng, effort)
+
+
+def _construct_design(
+    num_points: int,
+    block_size: int,
+    strength: int,
+    rng: np.random.Generator,
+    effort: int,
+) -> CoveringDesign:
     design = algebraic_design(num_points, block_size, strength)
     if design is not None:
         return design
@@ -127,12 +139,17 @@ def construct_design(
 
 @functools.lru_cache(maxsize=64)
 def best_design(num_points: int, block_size: int, strength: int) -> CoveringDesign:
-    """The best available design: algebraic, else bundled, else greedy."""
-    design = algebraic_design(num_points, block_size, strength)
-    if design is None:
-        design = load_bundled_design(num_points, block_size, strength)
-    if design is None:
-        design = construct_design(num_points, block_size, strength)
+    """The best available design: algebraic, else bundled, else greedy.
+
+    Cached, so the lookup span appears in a trace only on first use.
+    """
+    with obs.span("covering.best_design"):
+        design = algebraic_design(num_points, block_size, strength)
+        if design is None:
+            design = load_bundled_design(num_points, block_size, strength)
+        if design is None:
+            design = construct_design(num_points, block_size, strength)
+    obs.incr("covering.designs_resolved")
     return design
 
 

@@ -29,3 +29,7 @@ class ReconstructionError(ReproError):
 
 class DatasetError(ReproError):
     """A dataset file is missing or malformed."""
+
+
+class LedgerError(ReproError):
+    """A privacy-budget ledger audit failed or the ledger was misused."""

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Callable
 
+from repro import obs
 from repro.exceptions import ReproError
 from repro.experiments import (
     categorical_ext,
@@ -63,5 +64,6 @@ def run_experiment(
             f"unknown experiment {experiment_id!r}; "
             f"choose from {sorted(EXPERIMENTS)}"
         )
-    outcome = EXPERIMENTS[experiment_id](scale=scale, seed=seed)
+    with obs.span(f"experiment.{experiment_id}"):
+        outcome = EXPERIMENTS[experiment_id](scale=scale, seed=seed)
     return _render_any(outcome, chart=chart)

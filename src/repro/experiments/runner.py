@@ -13,6 +13,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro import obs
 from repro.marginals.dataset import BinaryDataset
 from repro.marginals.table import MarginalTable
 from repro.metrics.candlestick import Candlestick, candlestick
@@ -140,11 +141,14 @@ def evaluate_mechanism_metrics(
     truths = [dataset.marginal(q) for q in queries]
     per_query = {m: np.zeros(len(queries)) for m in metrics}
     for run in range(num_runs):
-        mechanism = make_mechanism(run)
-        for qi, (attrs, truth) in enumerate(zip(queries, truths)):
-            estimate = mechanism.marginal(attrs)
-            for m in metrics:
-                per_query[m][qi] += METRICS[m](estimate, truth, n)
+        with obs.span("evaluate.fit"):
+            mechanism = make_mechanism(run)
+        with obs.span("evaluate.queries"):
+            for qi, (attrs, truth) in enumerate(zip(queries, truths)):
+                estimate = mechanism.marginal(attrs)
+                for m in metrics:
+                    per_query[m][qi] += METRICS[m](estimate, truth, n)
+            obs.incr("evaluate.queries_scored", len(queries))
     return {
         m: candlestick(values / num_runs) for m, values in per_query.items()
     }

@@ -38,10 +38,15 @@ class MarginalTable:
     counts:
         Float array of length ``2**len(attrs)``; cell ``i`` counts the
         records where attribute ``attrs[j]`` equals ``(i >> j) & 1``.
+    meta:
+        Free-form provenance/telemetry attached by producers — e.g.
+        the max-entropy reconstructor stores its convergence record
+        under ``meta["maxent"]``.  Never affects table semantics.
     """
 
     attrs: tuple[int, ...]
     counts: np.ndarray = field(repr=False)
+    meta: dict = field(default_factory=dict, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         self.attrs = _as_sorted_attrs(self.attrs)
@@ -87,8 +92,8 @@ class MarginalTable:
         return float(self.counts.sum())
 
     def copy(self) -> "MarginalTable":
-        """A deep copy (the counts array is copied)."""
-        return MarginalTable(self.attrs, self.counts.copy())
+        """A deep copy (the counts array is copied, meta shallow-copied)."""
+        return MarginalTable(self.attrs, self.counts.copy(), dict(self.meta))
 
     # ------------------------------------------------------------------
     # Projection and consistency

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import math
 
+from repro import obs
 from repro.exceptions import PrivacyBudgetError
 
 
@@ -57,6 +58,8 @@ class PrivacyBudget:
                 f"budget exhausted: requested {epsilon}, remaining {self.remaining}"
             )
         self._spent = min(self.total, self._spent + epsilon)
+        obs.incr("budget.spend_calls")
+        obs.incr("budget.epsilon_allocated", epsilon)
         return epsilon
 
     def split(self, parts: int) -> list[float]:
@@ -69,6 +72,8 @@ class PrivacyBudget:
         if share <= 0:
             raise PrivacyBudgetError("budget already exhausted")
         self._spent = self.total
+        obs.incr("budget.split_calls")
+        obs.incr("budget.epsilon_allocated", share * parts)
         return [share] * parts
 
     def __repr__(self) -> str:

@@ -8,6 +8,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.exceptions import PrivacyBudgetError
 
 
@@ -43,6 +44,16 @@ def exponential_mechanism(
     if np.isinf(epsilon):
         best = np.flatnonzero(scores == scores.max())
         return int(rng.choice(best))
+    # One selection consumes the full epsilon: the score sensitivity is
+    # already folded into the softmax temperature.
+    obs.record_draw(
+        "exponential",
+        epsilon=epsilon,
+        sensitivity=sensitivity,
+        scale=2.0 * sensitivity / epsilon,
+        draws=1,
+        divide_by_sensitivity=False,
+    )
     logits = epsilon * scores / (2.0 * sensitivity)
     logits -= logits.max()  # stabilise the softmax
     probs = np.exp(logits)

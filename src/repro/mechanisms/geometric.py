@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.exceptions import PrivacyBudgetError
 from repro.marginals.table import MarginalTable
 
@@ -37,6 +38,13 @@ def geometric_noise(
     rng = rng or np.random.default_rng()
     if np.isinf(epsilon):
         return np.zeros(size, dtype=np.int64)
+    obs.record_draw(
+        "geometric",
+        epsilon=epsilon,
+        sensitivity=sensitivity,
+        scale=sensitivity / epsilon,
+        draws=int(np.prod(size, dtype=np.int64)) if size else 1,
+    )
     alpha = np.exp(-epsilon / sensitivity)
     # numpy's geometric counts trials (support 1, 2, ...); shift to 0-based.
     p = 1.0 - alpha

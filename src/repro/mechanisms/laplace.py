@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.exceptions import PrivacyBudgetError
 from repro.marginals.table import MarginalTable
 
@@ -44,6 +45,13 @@ def noisy_counts(
     if np.isinf(epsilon):
         return np.asarray(counts, dtype=np.float64).copy()
     scale = sensitivity / epsilon
+    obs.record_draw(
+        "laplace",
+        epsilon=epsilon,
+        sensitivity=sensitivity,
+        scale=scale,
+        draws=int(np.size(counts)),
+    )
     return np.asarray(counts, dtype=np.float64) + laplace_noise(
         scale, np.shape(counts), rng
     )

@@ -1,0 +1,66 @@
+"""``repro.obs`` — tracing, metrics and privacy-budget accounting.
+
+See ``docs/OBSERVABILITY.md`` for the full guide.  Quick tour::
+
+    import repro.obs as obs
+    from repro.obs.exporters import InMemoryExporter, render_summary
+
+    with obs.session(exporters=[InMemoryExporter()]) as sess:
+        synopsis = PriView(1.0, design=design, seed=0).fit(dataset)
+        sess.ledger.check()          # every strict scope balanced exactly
+        print(render_summary(sess))  # stage tree + counters + audit
+
+With no active session every helper is a near-zero-cost no-op, so the
+library is instrumented unconditionally.
+"""
+
+from repro.obs.exporters import (
+    InMemoryExporter,
+    JsonLinesExporter,
+    flatten_stages,
+    read_jsonl,
+    read_spans,
+    render_summary,
+)
+from repro.obs.ledger import AuditRow, BudgetLedger, BudgetScope, DrawRecord
+from repro.obs.log import configure_logging, get_logger
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.session import (
+    ObsSession,
+    budget_scope,
+    current,
+    enabled,
+    incr,
+    record_draw,
+    session,
+    set_gauge,
+    span,
+)
+from repro.obs.tracing import Span, Tracer
+
+__all__ = [
+    "AuditRow",
+    "BudgetLedger",
+    "BudgetScope",
+    "DrawRecord",
+    "InMemoryExporter",
+    "JsonLinesExporter",
+    "MetricsRegistry",
+    "ObsSession",
+    "Span",
+    "Tracer",
+    "budget_scope",
+    "configure_logging",
+    "current",
+    "enabled",
+    "flatten_stages",
+    "get_logger",
+    "incr",
+    "read_jsonl",
+    "read_spans",
+    "record_draw",
+    "render_summary",
+    "session",
+    "set_gauge",
+    "span",
+]

@@ -1,0 +1,257 @@
+"""Exporters: where finished spans and session summaries go.
+
+Three built-ins:
+
+* :class:`InMemoryExporter` — collects everything, for tests;
+* :class:`JsonLinesExporter` — one JSON object per line, machine
+  readable (``{"type": "span" | "summary", ...}``);
+* console rendering helpers — :func:`render_summary` produces the
+  human-readable stage-timing tree and budget audit that
+  ``python -m repro run ... --trace`` prints.
+
+Because one experiment performs hundreds of fits, the console tree
+*aggregates* spans by path: siblings with the same name are merged
+into one line with a call count, total and mean duration, and summed
+counters.  The raw (unaggregated) trees remain available on the
+tracer and in the JSON-lines output.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+
+from repro.obs.tracing import Span
+
+
+class InMemoryExporter:
+    """Keeps exported spans and summaries in lists (test helper)."""
+
+    def __init__(self):
+        self.spans: list[Span] = []
+        self.summaries: list[dict] = []
+
+    def export_span(self, span: Span) -> None:
+        self.spans.append(span)
+
+    def export_summary(self, summary: dict) -> None:
+        self.summaries.append(summary)
+
+    def close(self) -> None:
+        pass
+
+
+class JsonLinesExporter:
+    """Appends one JSON object per finished root span / final summary.
+
+    The file is opened lazily on first write and may be shared by
+    several sessions (e.g. one per experiment in ``run all``); each
+    session contributes its spans followed by one summary record.
+    """
+
+    def __init__(self, path):
+        self.path = pathlib.Path(path)
+        self._handle = None
+
+    def _write(self, obj: dict) -> None:
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("a", encoding="utf-8")
+        self._handle.write(json.dumps(obj, sort_keys=True) + "\n")
+
+    def export_span(self, span: Span) -> None:
+        self._write({"type": "span", "span": span.to_dict()})
+
+    def export_summary(self, summary: dict) -> None:
+        self._write({"type": "summary", **summary})
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+def read_jsonl(path) -> list[dict]:
+    """Parse a JSON-lines file back into a list of records."""
+    records = []
+    with pathlib.Path(path).open(encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def read_spans(path) -> list[Span]:
+    """The span trees stored in a JSON-lines trace file."""
+    return [
+        Span.from_dict(record["span"])
+        for record in read_jsonl(path)
+        if record.get("type") == "span"
+    ]
+
+
+# ----------------------------------------------------------------------
+# Aggregation and console rendering
+# ----------------------------------------------------------------------
+class _AggNode:
+    __slots__ = ("name", "count", "total", "counters", "children")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.counters: dict[str, float] = {}
+        self.children: dict[str, _AggNode] = {}
+
+
+def _aggregate_into(node_map: dict, spans) -> None:
+    for span in spans:
+        node = node_map.get(span.name)
+        if node is None:
+            node = node_map[span.name] = _AggNode(span.name)
+        node.count += 1
+        node.total += span.duration
+        for key, value in span.counters.items():
+            node.counters[key] = node.counters.get(key, 0) + value
+        _aggregate_into(node.children, span.children)
+
+
+def aggregate_spans(roots) -> dict:
+    """Merge span trees by path: ``{name: _AggNode}`` at each level."""
+    node_map: dict[str, _AggNode] = {}
+    _aggregate_into(node_map, roots)
+    return node_map
+
+
+def flatten_stages(roots, separator: str = ".") -> dict:
+    """Dotted-path view of the aggregated tree, for BENCH_*.json.
+
+    Returns ``{"a.b": {"seconds": total, "count": n, "counters": {...}}}``.
+    """
+    flat: dict[str, dict] = {}
+
+    def visit(node_map: dict, prefix: str) -> None:
+        for name, node in node_map.items():
+            path = f"{prefix}{separator}{name}" if prefix else name
+            flat[path] = {
+                "seconds": node.total,
+                "count": node.count,
+            }
+            if node.counters:
+                flat[path]["counters"] = dict(node.counters)
+            visit(node.children, path)
+
+    visit(aggregate_spans(roots), "")
+    return flat
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:8.3f}s "
+    return f"{seconds * 1e3:8.3f}ms"
+
+
+def render_span_tree(roots) -> str:
+    """The aggregated stage-timing tree, one line per distinct path."""
+    lines = []
+
+    def visit(node_map: dict, prefix: str, child_prefix: str) -> None:
+        nodes = sorted(node_map.values(), key=lambda n: -n.total)
+        for i, node in enumerate(nodes):
+            last = i == len(nodes) - 1
+            branch = "└─ " if last else "├─ "
+            extension = "   " if last else "│  "
+            label = node.name if node.count == 1 else f"{node.name} ×{node.count}"
+            counters = ""
+            if node.counters:
+                inner = ", ".join(
+                    f"{k}={v:g}" for k, v in sorted(node.counters.items())
+                )
+                counters = f"  [{inner}]"
+            lines.append(
+                f"{prefix}{branch}{label:<{max(46 - len(prefix) - 3, 8)}}"
+                f"{_fmt_seconds(node.total)}{counters}"
+            )
+            visit(node.children, prefix + extension, child_prefix)
+
+    visit(aggregate_spans(roots), "", "")
+    return "\n".join(lines)
+
+
+def _fmt_epsilon(value: float | None) -> str:
+    if value is None:
+        return "-"
+    if math.isinf(value):
+        return "inf"
+    return f"{value:.6g}"
+
+
+def render_audit(ledger) -> str:
+    """The budget-ledger audit table (scope, configured ε, spent ε)."""
+    rows = ledger.audit()
+    lines = ["privacy-budget ledger"]
+    if not rows:
+        lines.append("  (no noise draws recorded)")
+        return "\n".join(lines)
+    header = (
+        f"  {'scope':<28} {'fits':>5} {'ε configured':>13} "
+        f"{'ε spent/fit':>13} {'status':<8}"
+    )
+    lines.append(header)
+    lines.append("  " + "-" * (len(header) - 2))
+    for row in rows:
+        if row.spent_min == row.spent_max:
+            spent = _fmt_epsilon(row.spent_min)
+        else:
+            spent = f"{_fmt_epsilon(row.spent_min)}..{_fmt_epsilon(row.spent_max)}"
+        mark = "ok" if row.ok else ("MISMATCH" if row.strict else "info")
+        lines.append(
+            f"  {row.name:<28} {row.count:>5} {_fmt_epsilon(row.configured):>13} "
+            f"{spent:>13} {row.status:<8} {mark}"
+        )
+    lines.append(
+        f"  total: {ledger.total_draws()} draw calls, "
+        f"ε spent across all scopes = {_fmt_epsilon(ledger.total_spent())}"
+    )
+    return "\n".join(lines)
+
+
+def render_counters(snapshot: dict) -> str:
+    """Counters/gauges as a two-column table."""
+    lines = []
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    if counters:
+        lines.append("counters")
+        for name in sorted(counters):
+            lines.append(f"  {name:<40} {counters[name]:>14g}")
+    if gauges:
+        lines.append("gauges")
+        for name in sorted(gauges):
+            lines.append(f"  {name:<40} {gauges[name]:>14g}")
+    return "\n".join(lines)
+
+
+def render_summary(session) -> str:
+    """Full console report: stage tree, counters, budget audit."""
+    blocks = []
+    if session.tracer is not None and session.tracer.roots:
+        blocks.append(
+            "stage timings (aggregated over "
+            f"{len(session.tracer.roots)} trace roots)\n"
+            + render_span_tree(session.tracer.roots)
+        )
+        if session.tracer.dropped_roots:
+            blocks.append(
+                f"  ({session.tracer.dropped_roots} trace roots dropped)"
+            )
+    if session.metrics is not None:
+        rendered = render_counters(session.metrics.snapshot())
+        if rendered:
+            blocks.append(rendered)
+    if session.ledger is not None:
+        blocks.append(render_audit(session.ledger))
+    return "\n\n".join(blocks) if blocks else "(no trace data collected)"

@@ -1,0 +1,284 @@
+"""The privacy-budget ledger: every noise draw, accounted for.
+
+Each call into a noise primitive (:mod:`repro.mechanisms`) records a
+:class:`DrawRecord` with the raw mechanism parameters.  Records land in
+the innermost open :class:`BudgetScope` — typically one per
+``mechanism.fit`` — whose *spent* epsilon can then be audited against
+the epsilon the caller configured.
+
+Epsilon-share semantics
+-----------------------
+This library's convention (see ``noisy_marginal``) is that a single
+marginal table is a sensitivity-1 query, and a caller releasing ``m``
+tables under a shared budget passes ``sensitivity=m``.  One
+Laplace/geometric call therefore consumes ``epsilon / sensitivity``.
+The exponential mechanism already folds its score sensitivity into the
+softmax temperature, so one selection consumes the full ``epsilon``
+(``divide_by_sensitivity=False``).
+
+Exact totals
+------------
+Summing ``w`` copies of ``epsilon / w`` in floating point can miss
+``epsilon`` by an ulp.  The ledger instead groups records by
+``(mechanism, epsilon, divisor)`` and computes each group's total as
+``epsilon * (count / divisor)`` — for the ubiquitous ``count ==
+sensitivity`` pattern the ratio is exactly 1.0 and the group total is
+exactly ``epsilon``, which is what lets the audit require *exact*
+equality rather than a tolerance.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass, field
+
+from repro.exceptions import LedgerError
+
+
+@dataclass
+class DrawRecord:
+    """One call into a noise primitive.
+
+    Attributes
+    ----------
+    mechanism:
+        ``"laplace"`` | ``"geometric"`` | ``"exponential"``.
+    epsilon:
+        The epsilon argument passed to the primitive.
+    sensitivity:
+        The sensitivity argument passed to the primitive.
+    scale:
+        Noise scale actually used (``sensitivity / epsilon`` for
+        Laplace-style mechanisms).
+    draws:
+        Number of scalar noise values drawn (table cells, or 1 for a
+        selection).
+    divide_by_sensitivity:
+        Whether this call's epsilon share is ``epsilon / sensitivity``
+        (Laplace/geometric convention) or the full ``epsilon``
+        (exponential mechanism).
+    label:
+        Free-form annotation from the call site.
+    """
+
+    mechanism: str
+    epsilon: float
+    sensitivity: float
+    scale: float
+    draws: int
+    divide_by_sensitivity: bool = True
+    label: str = ""
+
+    @property
+    def epsilon_share(self) -> float:
+        """The epsilon this single call consumed."""
+        if math.isinf(self.epsilon):
+            return 0.0
+        if self.divide_by_sensitivity:
+            return self.epsilon / self.sensitivity
+        return self.epsilon
+
+    def to_dict(self) -> dict:
+        return {
+            "mechanism": self.mechanism,
+            "epsilon": self.epsilon,
+            "sensitivity": self.sensitivity,
+            "scale": self.scale,
+            "draws": self.draws,
+            "epsilon_share": self.epsilon_share,
+            "label": self.label,
+        }
+
+
+def _grouped_total(records: list[DrawRecord]) -> float:
+    """Exact-friendly epsilon total of ``records`` (see module doc)."""
+    groups: dict[tuple[str, float, float], int] = {}
+    for r in records:
+        if math.isinf(r.epsilon):
+            continue
+        divisor = r.sensitivity if r.divide_by_sensitivity else 1.0
+        key = (r.mechanism, r.epsilon, divisor)
+        groups[key] = groups.get(key, 0) + 1
+    return math.fsum(
+        epsilon * (count / divisor)
+        for (_, epsilon, divisor), count in groups.items()
+    )
+
+
+@dataclass
+class BudgetScope:
+    """All draws attributed to one logical operation (e.g. one ``fit``).
+
+    ``configured`` is the epsilon the operation claims to satisfy
+    (``None`` for the catch-all unscoped bucket); ``strict`` scopes are
+    expected to spend it exactly under sequential composition.
+    """
+
+    name: str
+    configured: float | None
+    strict: bool = True
+    records: list[DrawRecord] = field(default_factory=list)
+
+    def spent(self) -> float:
+        """Total epsilon consumed by the recorded draws."""
+        return _grouped_total(self.records)
+
+    @property
+    def status(self) -> str:
+        """``exact`` | ``over`` | ``under`` | ``n/a`` (inf or unscoped)."""
+        if self.configured is None or math.isinf(self.configured):
+            return "n/a"
+        spent = self.spent()
+        if spent == self.configured:
+            return "exact"
+        return "over" if spent > self.configured else "under"
+
+    def check(self) -> None:
+        """Raise :class:`LedgerError` unless the scope balanced exactly."""
+        if self.status in ("exact", "n/a"):
+            return
+        raise LedgerError(
+            f"budget scope {self.name!r} spent {self.spent()!r}, "
+            f"configured {self.configured!r} ({self.status})"
+        )
+
+
+@dataclass
+class AuditRow:
+    """One line of the audit: scopes grouped by (name, configured)."""
+
+    name: str
+    configured: float | None
+    count: int
+    spent_min: float
+    spent_max: float
+    status: str
+    strict: bool
+
+    @property
+    def ok(self) -> bool:
+        return self.status in ("exact", "n/a")
+
+
+class BudgetLedger:
+    """Records every noise draw of a session, organised into scopes."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self.unscoped = BudgetScope("(unscoped)", None, strict=False)
+        #: Completed + active scopes, in creation order.
+        self.scopes: list[BudgetScope] = []
+
+    # -- scope stack ----------------------------------------------------
+    def _stack(self) -> list[BudgetScope]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def scope(
+        self, name: str, configured: float | None, strict: bool = True
+    ) -> "_ScopeContext":
+        """Open a budget scope; use as a context manager."""
+        return _ScopeContext(self, BudgetScope(name, configured, strict))
+
+    def current_scope(self) -> BudgetScope:
+        stack = self._stack()
+        return stack[-1] if stack else self.unscoped
+
+    # -- recording ------------------------------------------------------
+    def record(self, record: DrawRecord) -> None:
+        """Attribute one draw to the innermost open scope."""
+        scope = self.current_scope()
+        with self._lock:
+            scope.records.append(record)
+
+    # -- totals & audit -------------------------------------------------
+    def total_spent(self) -> float:
+        """Epsilon consumed across every scope (and unscoped draws)."""
+        with self._lock:
+            scopes = list(self.scopes)
+        return math.fsum(
+            [s.spent() for s in scopes] + [self.unscoped.spent()]
+        )
+
+    def total_draws(self) -> int:
+        with self._lock:
+            scopes = list(self.scopes)
+        return sum(len(s.records) for s in scopes) + len(self.unscoped.records)
+
+    def audit(self) -> list[AuditRow]:
+        """Scopes grouped by (name, configured epsilon), for display."""
+        with self._lock:
+            scopes = list(self.scopes)
+        if self.unscoped.records:
+            scopes = scopes + [self.unscoped]
+        grouped: dict[tuple, list[BudgetScope]] = {}
+        for s in scopes:
+            grouped.setdefault((s.name, s.configured, s.strict), []).append(s)
+        rows = []
+        for (name, configured, strict), members in grouped.items():
+            spents = [m.spent() for m in members]
+            statuses = {m.status for m in members}
+            status = statuses.pop() if len(statuses) == 1 else "mixed"
+            rows.append(
+                AuditRow(
+                    name=name,
+                    configured=configured,
+                    count=len(members),
+                    spent_min=min(spents),
+                    spent_max=max(spents),
+                    status=status,
+                    strict=strict,
+                )
+            )
+        return rows
+
+    def check(self) -> None:
+        """Raise :class:`LedgerError` if any strict scope is unbalanced."""
+        with self._lock:
+            scopes = list(self.scopes)
+        for scope in scopes:
+            if scope.strict:
+                scope.check()
+
+    def to_dicts(self) -> list[dict]:
+        """JSON-serialisable audit summary (one dict per scope group)."""
+        return [
+            {
+                "scope": row.name,
+                "configured_epsilon": row.configured,
+                "fits": row.count,
+                "spent_min": row.spent_min,
+                "spent_max": row.spent_max,
+                "status": row.status,
+                "strict": row.strict,
+            }
+            for row in self.audit()
+        ]
+
+
+class _ScopeContext:
+    """Context manager pushing/popping a scope on the ledger."""
+
+    __slots__ = ("_ledger", "scope")
+
+    def __init__(self, ledger: BudgetLedger, scope: BudgetScope):
+        self._ledger = ledger
+        self.scope = scope
+
+    def __enter__(self) -> BudgetScope:
+        with self._ledger._lock:
+            self._ledger.scopes.append(self.scope)
+        self._ledger._stack().append(self.scope)
+        return self.scope
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        stack = self._ledger._stack()
+        if stack and stack[-1] is self.scope:
+            stack.pop()
+        elif self.scope in stack:
+            stack.remove(self.scope)
+        return False

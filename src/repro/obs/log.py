@@ -1,0 +1,49 @@
+"""Structured logging for the repro package.
+
+Everything logs under the ``repro`` namespace; :func:`configure_logging`
+is called once by the CLI (``--log-level``) and installs a stderr
+handler so log lines never mix with the experiment reports on stdout.
+Library code gets loggers from :func:`get_logger` and never configures
+handlers itself, so embedding applications keep full control.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+ROOT_LOGGER_NAME = "repro"
+
+LEVELS = ("debug", "info", "warning", "error", "critical")
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """A logger under the ``repro`` namespace (``repro.<name>``)."""
+    if not name:
+        return logging.getLogger(ROOT_LOGGER_NAME)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+def configure_logging(level: str | int | None = None) -> logging.Logger:
+    """Install a stderr handler on the ``repro`` logger (idempotent).
+
+    ``level`` may be a name from :data:`LEVELS`, a numeric level, or
+    None for the default WARNING.
+    """
+    if level is None:
+        level = logging.WARNING
+    elif isinstance(level, str):
+        level = getattr(logging, level.upper())
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    root.setLevel(level)
+    if not any(
+        isinstance(h, logging.StreamHandler) and getattr(h, "_repro", False)
+        for h in root.handlers
+    ):
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(levelname)-7s %(name)s: %(message)s")
+        )
+        handler._repro = True
+        root.addHandler(handler)
+    return root

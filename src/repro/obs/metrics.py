@@ -1,0 +1,49 @@
+"""Counters and gauges for pipeline telemetry.
+
+Counters accumulate (ripple passes, IPF sweeps, cells clipped);
+gauges hold the last observed value (design size ``w``, final
+residuals).  The registry is a plain dict behind a lock — metric
+updates happen at stage granularity, not per cell, so contention is
+negligible.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class MetricsRegistry:
+    """Thread-safe counter/gauge store for one observability session."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+
+    def incr(self, name: str, value: float = 1) -> None:
+        """Add ``value`` to counter ``name`` (created at zero)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + value
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Record the latest value of gauge ``name``."""
+        with self._lock:
+            self._gauges[name] = value
+
+    def counter(self, name: str) -> float:
+        """Current value of counter ``name`` (0 if never incremented)."""
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def gauge(self, name: str) -> float | None:
+        """Last value of gauge ``name`` (None if never set)."""
+        with self._lock:
+            return self._gauges.get(name)
+
+    def snapshot(self) -> dict:
+        """A JSON-serialisable copy of all counters and gauges."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+            }

@@ -5,8 +5,22 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.covering.design import CoveringDesign
 from repro.marginals.dataset import BinaryDataset
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _default_obs_session():
+    """Run the whole suite under an observability session.
+
+    Instrumentation (spans, counters, the budget ledger) is exercised
+    by default so regressions in the instrumented hot paths surface in
+    tier-1; tests needing an isolated session open a nested
+    ``obs.session()``, which shadows this one for its duration.
+    """
+    with obs.session() as sess:
+        yield sess
 
 
 @pytest.fixture

@@ -1,0 +1,114 @@
+"""Exporter behaviour: JSON-lines round-trip, aggregation, rendering."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import obs
+from repro.core.priview import PriView
+from repro.covering.repository import best_design
+from repro.obs.exporters import (
+    InMemoryExporter,
+    JsonLinesExporter,
+    flatten_stages,
+    read_jsonl,
+    read_spans,
+    render_summary,
+)
+from repro.obs.tracing import Span
+
+
+def _span_shape(span: Span):
+    return (span.name, span.counters, [_span_shape(c) for c in span.children])
+
+
+def test_jsonl_round_trip(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    with obs.session(exporters=[JsonLinesExporter(path)]) as sess:
+        with obs.span("outer"):
+            with obs.span("inner"):
+                obs.incr("ticks", 3)
+        with obs.span("second"):
+            pass
+        originals = list(sess.tracer.roots)
+    records = read_jsonl(path)
+    assert [r["type"] for r in records] == ["span", "span", "summary"]
+    restored = read_spans(path)
+    assert [_span_shape(s) for s in restored] == [
+        _span_shape(s) for s in originals
+    ]
+    assert all(
+        restored[i].duration == originals[i].duration for i in range(2)
+    )
+    summary = records[-1]
+    assert summary["counters"] == {"ticks": 3}
+    assert summary["trace_roots"] == 2
+
+
+def test_jsonl_summary_contains_ledger_audit(tmp_path, tiny_dataset):
+    path = tmp_path / "trace.jsonl"
+    design = best_design(6, 4, 2)
+    with obs.session(exporters=[JsonLinesExporter(path)]):
+        PriView(1.0, design=design, seed=0).fit(tiny_dataset)
+    summary = [r for r in read_jsonl(path) if r["type"] == "summary"][-1]
+    [scope] = summary["ledger"]
+    assert scope["scope"] == "PriView.fit"
+    assert scope["configured_epsilon"] == 1.0
+    assert scope["spent_min"] == scope["spent_max"] == 1.0
+    assert scope["status"] == "exact"
+    assert summary["ledger_total_epsilon"] == 1.0
+
+
+def test_jsonl_exporter_shared_across_sessions(tmp_path):
+    """The CLI reuses one file for run-all: sessions append in order."""
+    path = tmp_path / "trace.jsonl"
+    exporter = JsonLinesExporter(path)
+    for name in ("one", "two"):
+        with obs.session(exporters=[exporter]):
+            with obs.span(name):
+                pass
+    names = [s.name for s in read_spans(path)]
+    assert names == ["one", "two"]
+    assert sum(r["type"] == "summary" for r in read_jsonl(path)) == 2
+
+
+def test_in_memory_exporter_receives_roots_only():
+    exporter = InMemoryExporter()
+    with obs.session(exporters=[exporter]):
+        with obs.span("root"):
+            with obs.span("child"):
+                pass
+    assert [s.name for s in exporter.spans] == ["root"]
+    assert len(exporter.summaries) == 1
+
+
+def test_flatten_stages_dotted_paths():
+    with obs.session() as sess:
+        for _ in range(2):
+            with obs.span("fit"):
+                with obs.span("stage"):
+                    obs.incr("passes", 5)
+    flat = flatten_stages(sess.tracer.roots)
+    assert set(flat) == {"fit", "fit.stage"}
+    assert flat["fit"]["count"] == 2
+    assert flat["fit.stage"]["counters"] == {"passes": 10}
+    assert flat["fit"]["seconds"] >= flat["fit.stage"]["seconds"]
+
+
+def test_render_summary_mentions_stages_and_audit(tiny_dataset):
+    design = best_design(6, 4, 2)
+    with obs.session() as sess:
+        PriView(0.5, design=design, seed=0).fit(tiny_dataset)
+        text = render_summary(sess)
+    assert "priview.fit" in text
+    assert "noisy_views" in text
+    assert "privacy-budget ledger" in text
+    assert "PriView.fit" in text
+    assert "exact" in text
+
+
+def test_render_summary_empty_session():
+    with obs.session() as sess:
+        pass
+    text = render_summary(sess)
+    assert "no noise draws" in text

@@ -1,0 +1,141 @@
+"""Budget-ledger semantics: exact totals, scopes, audits."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core.priview import PriView
+from repro.core.view_selection import RECORD_COUNT_EPSILON
+from repro.covering.repository import best_design
+from repro.exceptions import LedgerError
+from repro.mechanisms.exponential import exponential_mechanism
+from repro.mechanisms.geometric import geometric_noisy_counts
+from repro.mechanisms.laplace import noisy_counts
+
+
+def test_laplace_draw_recorded_with_share():
+    with obs.session() as sess:
+        noisy_counts(np.zeros(8), epsilon=0.5, sensitivity=4.0)
+    [record] = sess.ledger.unscoped.records
+    assert record.mechanism == "laplace"
+    assert record.epsilon == 0.5
+    assert record.sensitivity == 4.0
+    assert record.scale == 8.0
+    assert record.draws == 8
+    assert record.epsilon_share == 0.125
+
+
+def test_exponential_draw_consumes_full_epsilon():
+    with obs.session() as sess:
+        exponential_mechanism(np.array([1.0, 2.0]), epsilon=0.3, sensitivity=2.0)
+    [record] = sess.ledger.unscoped.records
+    assert record.mechanism == "exponential"
+    assert record.epsilon_share == 0.3
+
+
+def test_geometric_draw_recorded():
+    with obs.session() as sess:
+        geometric_noisy_counts(np.zeros(4), epsilon=0.2, sensitivity=2.0)
+    [record] = sess.ledger.unscoped.records
+    assert record.mechanism == "geometric"
+    assert record.epsilon_share == 0.1
+
+
+def test_infinite_epsilon_draws_are_free():
+    with obs.session() as sess:
+        noisy_counts(np.zeros(4), epsilon=float("inf"))
+        exponential_mechanism(np.array([1.0, 2.0]), epsilon=float("inf"))
+    assert sess.ledger.total_spent() == 0.0
+    assert sess.ledger.total_draws() == 0
+
+
+@pytest.mark.parametrize("epsilon", [1.0, 0.1, 0.3, 0.7])
+def test_priview_fit_ledger_total_is_exactly_epsilon(tiny_dataset, epsilon):
+    """Sequential composition over the w views must balance *exactly*."""
+    design = best_design(6, 4, 2)
+    with obs.session() as sess:
+        PriView(epsilon, design=design, seed=0).fit(tiny_dataset)
+        scope = sess.ledger.scopes[0]
+        assert scope.name == "PriView.fit"
+        assert scope.configured == epsilon
+        assert scope.spent() == epsilon  # exact, not approx
+        assert scope.status == "exact"
+        sess.ledger.check()  # must not raise
+
+
+def test_priview_fit_auto_design_accounts_record_count(tiny_dataset):
+    with obs.session() as sess:
+        PriView(1.0, seed=0).fit(tiny_dataset)
+        scope = sess.ledger.scopes[0]
+        assert scope.configured == 1.0 + RECORD_COUNT_EPSILON
+        assert scope.spent() == scope.configured
+        labels = {r.label for r in scope.records}
+        assert "record_count" in labels
+        sess.ledger.check()
+
+
+def test_priview_fit_noise_free_spends_nothing(tiny_dataset):
+    design = best_design(6, 4, 2)
+    with obs.session() as sess:
+        PriView(float("inf"), design=design, seed=0).fit(tiny_dataset)
+        scope = sess.ledger.scopes[0]
+        assert math.isinf(scope.configured)
+        assert scope.spent() == 0.0
+        assert scope.status == "n/a"
+        sess.ledger.check()
+
+
+def test_unbalanced_strict_scope_fails_check():
+    with obs.session() as sess:
+        with sess.ledger.scope("half-spent", configured=1.0):
+            noisy_counts(np.zeros(2), epsilon=0.5)
+        with pytest.raises(LedgerError, match="half-spent"):
+            sess.ledger.check()
+
+
+def test_non_strict_scope_reported_not_raised():
+    with obs.session() as sess:
+        with sess.ledger.scope("lax", configured=1.0, strict=False):
+            noisy_counts(np.zeros(2), epsilon=0.5)
+        sess.ledger.check()  # non-strict mismatch does not raise
+        [row] = sess.ledger.audit()
+        assert row.status == "under"
+        assert not row.ok
+        assert not row.strict
+
+
+def test_audit_groups_repeated_fits(tiny_dataset):
+    design = best_design(6, 4, 2)
+    with obs.session() as sess:
+        for seed in range(3):
+            PriView(1.0, design=design, seed=seed).fit(tiny_dataset)
+        rows = sess.ledger.audit()
+    [row] = [r for r in rows if r.name == "PriView.fit"]
+    assert row.count == 3
+    assert row.spent_min == row.spent_max == 1.0
+    assert row.status == "exact"
+
+
+def test_nested_scopes_attribute_to_innermost():
+    with obs.session() as sess:
+        with sess.ledger.scope("outer", configured=None, strict=False):
+            with sess.ledger.scope("inner", configured=0.5):
+                noisy_counts(np.zeros(2), epsilon=0.5)
+        outer, inner = sess.ledger.scopes
+        assert outer.name == "outer" and not outer.records
+        assert inner.name == "inner" and len(inner.records) == 1
+        assert sess.ledger.total_spent() == 0.5
+
+
+def test_baseline_fit_gets_nonstrict_scope(tiny_dataset):
+    from repro.baselines.flat import FlatMethod
+
+    with obs.session() as sess:
+        FlatMethod(1.0, seed=0).fit(tiny_dataset)
+        scopes = [s for s in sess.ledger.scopes if s.name == "Flat.fit"]
+        assert scopes and not scopes[0].strict
+        assert scopes[0].spent() > 0
