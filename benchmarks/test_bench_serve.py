@@ -1,0 +1,132 @@
+"""Benchmark the serving subsystem: cold vs. warm query latency.
+
+Emits ``BENCH_serve.json`` — queries/sec for the cold (solver) path vs.
+the warm (cache-hit) path on a d=32, k=4 workload, plus the planner
+path breakdown — the machine-readable trajectory later serving PRs
+diff against.  The acceptance bar: warm answers at least 10x faster
+than cold solver-path answers, and every request accounted for by
+planner path in both ``/stats`` and the obs counters.
+"""
+
+import json
+import pathlib
+from time import perf_counter
+
+import numpy as np
+
+from repro import obs
+from repro.core.priview import PriView
+from repro.covering.repository import best_design
+from repro.experiments.data import experiment_dataset
+from repro.serve import PATH_COVERED, PATH_DERIVED, PATH_SOLVED, QueryEngine
+
+D = 32
+K = 4
+
+
+def _workload(design, rng, num_each=12):
+    """Distinct k=4 covered + uncovered sets, plus uncovered k=3
+    subsets of the uncovered ones (those exercise the derived path)."""
+    blocks = list(design.blocks)
+    covered_by = lambda attrs: any(set(attrs) <= set(b) for b in blocks)
+
+    covered = set()
+    while len(covered) < num_each:
+        block = blocks[rng.integers(len(blocks))]
+        covered.add(tuple(sorted(rng.choice(block, K, replace=False).tolist())))
+    uncovered = set()
+    while len(uncovered) < num_each:
+        attrs = tuple(sorted(rng.choice(D, K, replace=False).tolist()))
+        if not covered_by(attrs):
+            uncovered.add(attrs)
+    derived = set()
+    for parent in sorted(uncovered):
+        for drop in range(K):
+            sub = tuple(a for i, a in enumerate(parent) if i != drop)
+            if not covered_by(sub):
+                derived.add(sub)
+                break
+        if len(derived) >= num_each // 2:
+            break
+    return sorted(covered), sorted(uncovered), sorted(derived)
+
+
+def _timed(engine, queries):
+    latencies = []
+    for attrs in queries:
+        start = perf_counter()
+        engine.answer(attrs)
+        latencies.append(perf_counter() - start)
+    return latencies
+
+
+def test_bench_serve_export(scale):
+    dataset = experiment_dataset("kosarak", scale)
+    design = best_design(D, 8, 2)
+    synopsis = PriView(1.0, design=design, seed=0).fit(dataset)
+    rng = np.random.default_rng(20140622)
+    covered, uncovered, derived = _workload(design, rng)
+    everything = covered + uncovered + derived
+
+    with obs.session() as sess:
+        with QueryEngine(synopsis, cache_size=512) as engine:
+            cold_covered = _timed(engine, covered)
+            cold_solved = _timed(engine, uncovered)
+            cold_derived = _timed(engine, derived)
+            warm = _timed(engine, everything)
+            warm_again = _timed(engine, everything)
+            stats = engine.stats()
+        counters = sess.metrics.snapshot()["counters"]
+        latency_obs = sess.metrics.observation("serve.request_seconds")
+
+    # -- accounting: every request lands in exactly one planner path --
+    assert stats["requests"] == sum(stats["paths"].values())
+    assert stats["requests"] == 3 * len(everything)
+    assert counters["serve.request"] == stats["requests"]
+    for path, count in stats["paths"].items():
+        assert counters.get(f"serve.path.{path}", 0) == count
+    assert latency_obs["count"] == stats["requests"]
+    assert stats["paths"][PATH_COVERED] == 3 * len(covered)
+    assert stats["paths"][PATH_SOLVED] == 3 * len(uncovered)
+    assert stats["paths"][PATH_DERIVED] == 3 * len(derived)
+
+    # -- the serving claim: warm >= 10x faster than the cold solver path
+    warm_all = warm + warm_again
+    cold_solved_mean = sum(cold_solved) / len(cold_solved)
+    warm_mean = sum(warm_all) / len(warm_all)
+    assert warm_mean * 10 <= cold_solved_mean, (
+        f"warm {warm_mean * 1e3:.3f}ms vs cold solver "
+        f"{cold_solved_mean * 1e3:.3f}ms"
+    )
+
+    def _summary(latencies):
+        return {
+            "queries": len(latencies),
+            "mean_ms": 1e3 * sum(latencies) / len(latencies),
+            "max_ms": 1e3 * max(latencies),
+            "qps": len(latencies) / sum(latencies),
+        }
+
+    payload = {
+        "benchmark": f"serve_kosarak_{design.notation}_k{K}",
+        "scale": scale.name,
+        "workload": {
+            "d": D,
+            "k": K,
+            "covered": len(covered),
+            "uncovered": len(uncovered),
+            "derived": len(derived),
+        },
+        "cold": {
+            "covered": _summary(cold_covered),
+            "solved": _summary(cold_solved),
+            "derived": _summary(cold_derived) if cold_derived else None,
+        },
+        "warm": _summary(warm_all),
+        "speedup_warm_vs_cold_solved": cold_solved_mean / warm_mean,
+        "paths": stats["paths"],
+        "cache": stats["cache"],
+        "request_seconds": latency_obs,
+    }
+    out = pathlib.Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

@@ -7,12 +7,19 @@ Examples::
     python -m repro run figure1 --scale quick --trace
     python -m repro run figure2 --scale paper --seed 3 --log-level info
     python -m repro run all --scale medium --trace-out results/trace.jsonl
+    python -m repro serve --synopsis synopsis.npz --port 8177
+    python -m repro query 0,3,5 1,9 --synopsis synopsis.npz
+    python -m repro query 0,3,5 --url http://127.0.0.1:8177
 
 ``--trace`` prints, after each experiment's report, a nested
 stage-timing tree, the pipeline counters, and a privacy-budget ledger
 audit whose per-fit epsilon totals are checked against the configured
 epsilon (see ``docs/OBSERVABILITY.md``).  ``run all`` keeps going past
 a failing experiment, logs the failure, and exits non-zero at the end.
+
+``serve`` exposes a saved synopsis over HTTP (``docs/SERVING.md``);
+``query`` answers marginal queries against a saved synopsis file or a
+running server.
 """
 
 from __future__ import annotations
@@ -62,7 +69,155 @@ def build_parser() -> argparse.ArgumentParser:
         "--log-level", choices=LEVELS, default=None,
         help="logging verbosity on stderr (default: warning)",
     )
+
+    serve_parser = sub.add_parser(
+        "serve", help="serve marginal queries from a saved synopsis over HTTP"
+    )
+    serve_parser.add_argument(
+        "--synopsis", required=True, metavar="PATH",
+        help="synopsis .npz written by repro.core.serialization.save_synopsis",
+    )
+    serve_parser.add_argument("--host", default=None, help="bind address")
+    serve_parser.add_argument(
+        "--port", type=int, default=None, help="bind port (0 = ephemeral)"
+    )
+    serve_parser.add_argument(
+        "--cache-size", type=int, default=None,
+        help="answer-cache capacity (distinct marginals)",
+    )
+    serve_parser.add_argument(
+        "--workers", type=int, default=None, help="engine thread-pool width"
+    )
+    serve_parser.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-request deadline in seconds (504 past it)",
+    )
+    serve_parser.add_argument(
+        "--method", default=None,
+        help="default reconstruction method (maxent)",
+    )
+    serve_parser.add_argument(
+        "--log-level", choices=LEVELS, default=None,
+        help="logging verbosity on stderr (default: warning)",
+    )
+
+    query_parser = sub.add_parser(
+        "query", help="answer marginal queries (local synopsis or server)"
+    )
+    query_parser.add_argument(
+        "attrs", nargs="+", metavar="ATTRS",
+        help="comma-separated attribute indices, e.g. 0,3,5",
+    )
+    source = query_parser.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--synopsis", metavar="PATH", help="answer from a saved synopsis file"
+    )
+    source.add_argument(
+        "--url", metavar="URL", help="answer via a running `repro serve`"
+    )
+    query_parser.add_argument(
+        "--method", default=None, help="reconstruction method (maxent)"
+    )
+    query_parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="print raw protocol payloads instead of tables",
+    )
+    query_parser.add_argument(
+        "--log-level", choices=LEVELS, default=None,
+        help="logging verbosity on stderr (default: warning)",
+    )
     return parser
+
+
+def _parse_attr_list(text: str) -> tuple[int, ...]:
+    try:
+        return tuple(int(part) for part in text.split(",") if part != "")
+    except ValueError:
+        raise SystemExit(
+            f"error: bad attribute list {text!r} "
+            "(expected comma-separated integers, e.g. 0,3,5)"
+        )
+
+
+def _render_answer(payload: dict) -> str:
+    source = payload.get("source")
+    origin = f" from {tuple(source)}" if source else ""
+    lines = [
+        f"marginal {tuple(payload['attrs'])}  "
+        f"path={payload['path']}{origin}  cached={payload['cached']}  "
+        f"{payload['elapsed_ms']:.3f}ms  total={payload['total']:.6g}"
+    ]
+    counts = payload["counts"]
+    k = payload["k"]
+    for cell, count in enumerate(counts):
+        bits = "".join(str((cell >> j) & 1) for j in range(k)) if k else "-"
+        lines.append(f"  [{bits}] {count:14.4f}")
+    return "\n".join(lines)
+
+
+def _cmd_serve(args) -> int:
+    from repro.serve import server as serve_server
+    from repro.serve.server import serve_synopsis
+
+    log = get_logger("cli")
+    engine_kwargs = {}
+    if args.cache_size is not None:
+        engine_kwargs["cache_size"] = args.cache_size
+    if args.workers is not None:
+        engine_kwargs["workers"] = args.workers
+    if args.method is not None:
+        engine_kwargs["default_method"] = args.method
+    server = serve_synopsis(
+        args.synopsis,
+        host=args.host if args.host is not None else serve_server.DEFAULT_HOST,
+        port=args.port if args.port is not None else serve_server.DEFAULT_PORT,
+        request_timeout=(
+            args.timeout if args.timeout is not None
+            else serve_server.DEFAULT_REQUEST_TIMEOUT
+        ),
+        **engine_kwargs,
+    )
+    stats = server.engine.stats()["synopsis"]
+    print(
+        f"serving {stats['design']} (d={stats['num_attributes']}, "
+        f"epsilon={stats['epsilon']}, views={stats['views']}) on {server.url}"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        log.info("interrupted; shutting down")
+    finally:
+        server.shutdown()
+        paths = server.engine.stats()["paths"]
+        print(f"served paths: {paths}")
+    return 0
+
+
+def _cmd_query(args) -> int:
+    import json as _json
+
+    queries = [_parse_attr_list(text) for text in args.attrs]
+    if args.url:
+        from repro.serve.client import QueryClient
+
+        client = QueryClient(args.url)
+        payloads = client.batch(queries, method=args.method)["answers"]
+    else:
+        from repro.core.serialization import load_synopsis
+        from repro.serve.engine import QueryEngine
+        from repro.serve.protocol import encode_answer
+
+        with QueryEngine(load_synopsis(args.synopsis)) as engine:
+            payloads = [
+                encode_answer(answer)
+                for answer in engine.answer_batch(queries, method=args.method)
+            ]
+    for payload in payloads:
+        if args.as_json:
+            print(_json.dumps(payload, sort_keys=True))
+        else:
+            print(_render_answer(payload))
+    return 0
 
 
 def main(argv=None) -> int:
@@ -73,6 +228,10 @@ def main(argv=None) -> int:
         return 0
 
     configure_logging(args.log_level)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "query":
+        return _cmd_query(args)
     log = get_logger("cli")
     targets = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     run_all = args.experiment == "all"

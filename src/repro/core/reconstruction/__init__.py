@@ -40,6 +40,7 @@ def reconstruct(
     target_attrs,
     method: str = "maxent",
     use_covering_view: bool = True,
+    total: float | None = None,
 ) -> MarginalTable:
     """Reconstruct the marginal over ``target_attrs`` from view tables.
 
@@ -55,6 +56,10 @@ def reconstruct(
     use_covering_view:
         When True (default) and a view contains ``A``, return its
         projection directly — the trivial case of Section 4.3.
+    total:
+        The common total count ``N_V``.  Defaults to the mean of the
+        view totals; long-lived callers (the serving engine) pass it
+        in to avoid re-summing every view per query.
     """
     if method not in _SOLVERS:
         raise ReconstructionError(
@@ -73,10 +78,11 @@ def reconstruct(
         constraints = extract_constraints(
             views, target, keep_maximal_only=keep_maximal
         )
-        total = float(
-            sum(v.total() for v in views) / len(views)
-        ) if views else 0.0
-        return _SOLVERS[method](constraints, target, total)
+        if total is None:
+            total = float(
+                sum(v.total() for v in views) / len(views)
+            ) if views else 0.0
+        return _SOLVERS[method](constraints, target, float(total))
 
 
 __all__ = [

@@ -22,6 +22,27 @@ from repro.marginals.table import MarginalTable
 FORMAT_VERSION = 1
 
 
+def jsonable(obj):
+    """Recursively coerce ``obj`` into plain JSON-serialisable types.
+
+    numpy scalars become Python scalars, arrays become lists, mapping
+    keys become strings; anything unrecognised falls back to ``str``.
+    Used for the free-form ``meta``/``metadata`` dicts the pipeline
+    attaches to tables (solver telemetry and the like).
+    """
+    if isinstance(obj, dict):
+        return {str(k): jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [jsonable(v) for v in obj]
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, np.generic):
+        return obj.item()
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    return str(obj)
+
+
 def save_synopsis(
     synopsis: PriViewSynopsis, path: str | os.PathLike
 ) -> pathlib.Path:
@@ -34,7 +55,8 @@ def save_synopsis(
         "num_attributes": synopsis.num_attributes,
         "design": synopsis.design.to_text(),
         "view_attrs": [list(v.attrs) for v in synopsis.views],
-        "metadata": synopsis.metadata,
+        "view_meta": [jsonable(v.meta) for v in synopsis.views],
+        "metadata": jsonable(synopsis.metadata),
     }
     arrays = {
         f"view_{i}": view.counts for i, view in enumerate(synopsis.views)
@@ -58,9 +80,14 @@ def load_synopsis(path: str | os.PathLike) -> PriViewSynopsis:
             raise DatasetError(
                 f"unsupported synopsis format {header.get('format_version')}"
             )
+        # view_meta is absent in files written before it existed:
+        # default to empty dicts so those synopses still load.
+        metas = header.get("view_meta") or [{}] * len(header["view_attrs"])
         views = [
-            MarginalTable(tuple(attrs), archive[f"view_{i}"])
-            for i, attrs in enumerate(header["view_attrs"])
+            MarginalTable(tuple(attrs), archive[f"view_{i}"], dict(meta))
+            for i, (attrs, meta) in enumerate(
+                zip(header["view_attrs"], metas)
+            )
         ]
     return PriViewSynopsis(
         design=CoveringDesign.from_text(header["design"]),

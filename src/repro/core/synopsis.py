@@ -38,11 +38,32 @@ class PriViewSynopsis:
     epsilon: float
     num_attributes: int
     metadata: dict = field(default_factory=dict)
+    #: optional repro.serve.QueryEngine; set via attach_engine
+    _engine: object | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def num_views(self) -> int:
         """``w`` — number of released view marginals."""
         return len(self.views)
+
+    # ------------------------------------------------------------------
+    # Serving-engine integration
+    # ------------------------------------------------------------------
+    def attach_engine(self, engine) -> None:
+        """Route ``marginal``/``marginals`` through a serving engine.
+
+        The engine (see :class:`repro.serve.QueryEngine`) answers with
+        planning and an LRU answer cache; repeated queries stop paying
+        for reconstruction.  Pass ``None`` to detach.
+        """
+        self._engine = engine
+
+    @property
+    def engine(self):
+        """The attached serving engine, if any."""
+        return self._engine
 
     def total_count(self) -> float:
         """The common (consistent) total count ``N_V``."""
@@ -60,13 +81,39 @@ class PriViewSynopsis:
 
         When some view covers ``attrs`` this is a projection; otherwise
         the requested solver (default: maximum entropy) combines the
-        constraints every intersecting view contributes.
+        constraints every intersecting view contributes.  With an
+        attached serving engine the query goes through its planner and
+        answer cache instead.
         """
+        if self._engine is not None:
+            return self._engine.answer(attrs, method=method).table
         return reconstruct(self.views, attrs, method=method)
 
     def marginals(self, attr_sets, method: str = "maxent") -> list[MarginalTable]:
-        """Reconstruct several marginals (convenience wrapper)."""
-        return [self.marginal(attrs, method=method) for attrs in attr_sets]
+        """Reconstruct several marginals, solving each distinct set once.
+
+        Repeated or equivalent attribute sets (``(1, 3)`` vs ``[3, 1]``)
+        are normalised and answered from the first computation; every
+        slot still gets its own table, aligned with the input order.
+        With an attached serving engine the whole workload goes through
+        its de-duplicating batch path.
+        """
+        if self._engine is not None:
+            return [
+                answer.table
+                for answer in self._engine.answer_batch(attr_sets, method=method)
+            ]
+        distinct: dict[tuple[int, ...], MarginalTable] = {}
+        out = []
+        for attrs in attr_sets:
+            target = _as_sorted_attrs(attrs)
+            table = distinct.get(target)
+            if table is None:
+                table = distinct[target] = self.marginal(target, method=method)
+                out.append(table)
+            else:
+                out.append(table.copy())
+        return out
 
     def __repr__(self) -> str:
         return (

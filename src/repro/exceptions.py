@@ -33,3 +33,11 @@ class DatasetError(ReproError):
 
 class LedgerError(ReproError):
     """A privacy-budget ledger audit failed or the ledger was misused."""
+
+
+class QueryError(ReproError):
+    """A served marginal query was malformed or unanswerable."""
+
+
+class QueryTimeoutError(QueryError):
+    """A served marginal query missed its deadline."""

@@ -31,6 +31,7 @@ from repro.obs.session import (
     current,
     enabled,
     incr,
+    observe,
     record_draw,
     session,
     set_gauge,
@@ -56,6 +57,7 @@ __all__ = [
     "flatten_stages",
     "get_logger",
     "incr",
+    "observe",
     "read_jsonl",
     "read_spans",
     "record_draw",

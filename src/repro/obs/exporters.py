@@ -220,10 +220,11 @@ def render_audit(ledger) -> str:
 
 
 def render_counters(snapshot: dict) -> str:
-    """Counters/gauges as a two-column table."""
+    """Counters/gauges/observations as a two-column table."""
     lines = []
     counters = snapshot.get("counters", {})
     gauges = snapshot.get("gauges", {})
+    observations = snapshot.get("observations", {})
     if counters:
         lines.append("counters")
         for name in sorted(counters):
@@ -232,6 +233,14 @@ def render_counters(snapshot: dict) -> str:
         lines.append("gauges")
         for name in sorted(gauges):
             lines.append(f"  {name:<40} {gauges[name]:>14g}")
+    if observations:
+        lines.append("observations")
+        for name in sorted(observations):
+            rec = observations[name]
+            lines.append(
+                f"  {name:<40} n={rec['count']:g} mean={rec['mean']:.6g}"
+                f" min={rec['min']:.6g} max={rec['max']:.6g}"
+            )
     return "\n".join(lines)
 
 

@@ -1,10 +1,11 @@
-"""Counters and gauges for pipeline telemetry.
+"""Counters, gauges and value distributions for pipeline telemetry.
 
 Counters accumulate (ripple passes, IPF sweeps, cells clipped);
 gauges hold the last observed value (design size ``w``, final
-residuals).  The registry is a plain dict behind a lock — metric
-updates happen at stage granularity, not per cell, so contention is
-negligible.
+residuals); observations summarise a stream of values with
+count/sum/min/max (per-request latencies in the serving layer).  The
+registry is a plain dict behind a lock — metric updates happen at
+stage/request granularity, not per cell, so contention is negligible.
 """
 
 from __future__ import annotations
@@ -13,12 +14,13 @@ import threading
 
 
 class MetricsRegistry:
-    """Thread-safe counter/gauge store for one observability session."""
+    """Thread-safe counter/gauge/observation store for one session."""
 
     def __init__(self):
         self._lock = threading.Lock()
         self._counters: dict[str, float] = {}
         self._gauges: dict[str, float] = {}
+        self._observations: dict[str, dict] = {}
 
     def incr(self, name: str, value: float = 1) -> None:
         """Add ``value`` to counter ``name`` (created at zero)."""
@@ -40,10 +42,38 @@ class MetricsRegistry:
         with self._lock:
             return self._gauges.get(name)
 
-    def snapshot(self) -> dict:
-        """A JSON-serialisable copy of all counters and gauges."""
+    def observe(self, name: str, value: float) -> None:
+        """Fold ``value`` into the running summary for ``name``."""
+        value = float(value)
         with self._lock:
-            return {
+            rec = self._observations.get(name)
+            if rec is None:
+                rec = self._observations[name] = {
+                    "count": 0, "sum": 0.0, "min": value, "max": value,
+                }
+            rec["count"] += 1
+            rec["sum"] += value
+            rec["min"] = min(rec["min"], value)
+            rec["max"] = max(rec["max"], value)
+
+    def observation(self, name: str) -> dict | None:
+        """Summary dict for ``name`` incl. ``mean`` (None if never seen)."""
+        with self._lock:
+            rec = self._observations.get(name)
+            if rec is None:
+                return None
+            return {**rec, "mean": rec["sum"] / rec["count"]}
+
+    def snapshot(self) -> dict:
+        """A JSON-serialisable copy of all counters/gauges/observations."""
+        with self._lock:
+            out = {
                 "counters": dict(self._counters),
                 "gauges": dict(self._gauges),
             }
+            if self._observations:
+                out["observations"] = {
+                    name: {**rec, "mean": rec["sum"] / rec["count"]}
+                    for name, rec in self._observations.items()
+                }
+            return out

@@ -150,6 +150,14 @@ def set_gauge(name: str, value: float) -> None:
     sess.metrics.set_gauge(name, value)
 
 
+def observe(name: str, value: float) -> None:
+    """Fold one value into a session observation summary."""
+    sess = _SESSION
+    if sess is None or sess.metrics is None:
+        return
+    sess.metrics.observe(name, value)
+
+
 def record_draw(
     mechanism: str,
     *,

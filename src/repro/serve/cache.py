@@ -1,0 +1,139 @@
+"""Bounded LRU answer cache with single-flight computation.
+
+The serving engine keys this cache by ``(attrs, method)``.  Two
+properties matter under concurrency:
+
+* **LRU bound** — the cache never holds more than ``capacity``
+  entries; the least recently *used* (read or written) entry is
+  evicted first, so a hot working set of marginals stays resident
+  while one-off queries age out.
+* **single-flight** — when N threads ask for the same missing key at
+  once, exactly one (the *leader*) runs the factory; the rest block on
+  an event and share the leader's result (or its exception).  A
+  reconstruction is never run twice concurrently for the same key.
+
+The implementation is stdlib-only (``OrderedDict`` + ``threading``)
+and value-agnostic; hit/miss/coalesced/eviction tallies are kept for
+``/stats``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+from repro.exceptions import QueryTimeoutError
+
+
+class _InFlight:
+    """One in-progress computation: waiters park on ``event``."""
+
+    __slots__ = ("event", "value", "error")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.value = None
+        self.error: BaseException | None = None
+
+
+class SingleFlightLRU:
+    """Thread-safe bounded LRU with request coalescing."""
+
+    def __init__(self, capacity: int = 1024):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._lock = threading.Lock()
+        self._data: OrderedDict = OrderedDict()
+        self._inflight: dict = {}
+        self.hits = 0
+        self.misses = 0
+        self.coalesced = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def get(self, key):
+        """The cached value, or None (also refreshes recency)."""
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+                return self._data[key]
+            return None
+
+    def items(self) -> list:
+        """Snapshot of ``(key, value)`` pairs (no recency effect)."""
+        with self._lock:
+            return list(self._data.items())
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "size": len(self._data),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "coalesced": self.coalesced,
+                "evictions": self.evictions,
+            }
+
+    # ------------------------------------------------------------------
+    def get_or_compute(self, key, factory, wait_timeout: float | None = None):
+        """Return ``(value, from_cache)``, computing at most once per key.
+
+        The leader thread runs ``factory()`` (outside the lock) and
+        publishes the result; concurrent callers for the same key wait
+        up to ``wait_timeout`` seconds (None = forever) and report
+        ``from_cache=True``.  A factory exception is propagated to the
+        leader *and* every waiter, and nothing is cached, so the next
+        request retries.
+        """
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+                self.hits += 1
+                return self._data[key], True
+            flight = self._inflight.get(key)
+            if flight is None:
+                flight = self._inflight[key] = _InFlight()
+                leader = True
+                self.misses += 1
+            else:
+                leader = False
+                self.coalesced += 1
+
+        if not leader:
+            if not flight.event.wait(wait_timeout):
+                raise QueryTimeoutError(
+                    f"timed out after {wait_timeout}s waiting for the "
+                    f"in-flight computation of {key!r}"
+                )
+            if flight.error is not None:
+                raise flight.error
+            return flight.value, True
+
+        try:
+            value = factory()
+        except BaseException as exc:
+            flight.error = exc
+            with self._lock:
+                self._inflight.pop(key, None)
+            flight.event.set()
+            raise
+        flight.value = value
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+                self.evictions += 1
+            self._inflight.pop(key, None)
+        flight.event.set()
+        return value, False

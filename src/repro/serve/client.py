@@ -1,0 +1,105 @@
+"""Stdlib client for the marginal-serving protocol.
+
+Example::
+
+    from repro.serve import QueryClient
+
+    client = QueryClient("http://127.0.0.1:8177")
+    client.healthz()["status"]              # "ok"
+    payload = client.marginal((0, 3, 5))    # raw protocol dict
+    table = client.marginal_table((0, 3, 5))  # a MarginalTable
+
+Server-side errors come back as the matching repro exceptions:
+``400`` → :class:`QueryError`, ``504`` → :class:`QueryTimeoutError`.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+from repro.exceptions import QueryError, QueryTimeoutError
+from repro.marginals.table import MarginalTable
+from repro.serve.protocol import decode_table
+
+
+class QueryClient:
+    """Talks to a :class:`repro.serve.MarginalServer`."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def _request(self, path: str, payload: dict | None = None) -> dict:
+        url = f"{self.base_url}{path}"
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=data, headers=headers)
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return json.loads(resp.read())
+        except urllib.error.HTTPError as exc:
+            raise self._decode_error(exc) from exc
+
+    @staticmethod
+    def _decode_error(exc: urllib.error.HTTPError) -> QueryError:
+        try:
+            detail = json.loads(exc.read())["error"]
+            message = f"{detail['type']}: {detail['message']}"
+        except Exception:
+            message = f"HTTP {exc.code}"
+        if exc.code == 504:
+            return QueryTimeoutError(message)
+        return QueryError(f"server rejected request ({exc.code}): {message}")
+
+    # ------------------------------------------------------------------
+    def healthz(self) -> dict:
+        return self._request("/healthz")
+
+    def stats(self) -> dict:
+        return self._request("/stats")
+
+    def marginal(self, attrs, method: str | None = None) -> dict:
+        """One marginal query; returns the raw answer payload."""
+        body = {"attrs": [int(a) for a in attrs]}
+        if method is not None:
+            body["method"] = method
+        return self._request("/v1/marginal", body)
+
+    def marginal_table(self, attrs, method: str | None = None) -> MarginalTable:
+        """One marginal query, decoded into a :class:`MarginalTable`."""
+        return decode_table(self.marginal(attrs, method=method))
+
+    def batch(self, queries, method: str | None = None) -> dict:
+        """A workload of queries; returns the raw batch payload.
+
+        ``queries`` entries are attribute iterables or
+        ``(attrs, method)`` pairs.
+        """
+        encoded = []
+        for query in queries:
+            if (
+                isinstance(query, tuple)
+                and len(query) == 2
+                and isinstance(query[1], str)
+            ):
+                attrs, query_method = query
+                encoded.append(
+                    {"attrs": [int(a) for a in attrs], "method": query_method}
+                )
+            else:
+                encoded.append({"attrs": [int(a) for a in query]})
+        body: dict = {"queries": encoded}
+        if method is not None:
+            body["method"] = method
+        return self._request("/v1/batch", body)
+
+    def batch_tables(self, queries, method: str | None = None) -> list[MarginalTable]:
+        """A workload of queries, decoded into tables (input order)."""
+        payload = self.batch(queries, method=method)
+        return [decode_table(answer) for answer in payload["answers"]]

@@ -1,0 +1,309 @@
+"""The query-serving engine: planner + single-flight cache + pool.
+
+One :class:`QueryEngine` wraps one fitted (or loaded) synopsis and
+answers marginal queries concurrently:
+
+* each request is planned (covered / derived / solved), executed, and
+  cached under ``(attrs, method)``;
+* concurrent requests for the same marginal are coalesced — exactly
+  one reconstruction runs (see :mod:`repro.serve.cache`);
+* batch requests are de-duplicated and fanned out over a thread pool;
+* every request is counted by planner path, both in the engine's own
+  always-on stats (served at ``/stats``) and through ``repro.obs``
+  counters/spans when a session is active.
+
+Answers hand out *copies* of the cached tables, so callers may mutate
+what they receive without corrupting the cache.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as _FuturesTimeout
+from dataclasses import dataclass, field
+from time import perf_counter
+
+from repro import obs
+from repro.core.reconstruction import RECONSTRUCTION_METHODS, reconstruct
+from repro.exceptions import QueryError, QueryTimeoutError, ReproError
+from repro.marginals.table import MarginalTable
+from repro.serve.planner import (
+    PATH_COVERED,
+    PATH_DERIVED,
+    PATH_ERROR,
+    PATH_SOLVED,
+    QueryPlanner,
+)
+from repro.serve.cache import SingleFlightLRU
+
+DEFAULT_CACHE_SIZE = 1024
+DEFAULT_WORKERS = 8
+
+
+@dataclass(frozen=True)
+class _CacheEntry:
+    """What the cache stores: the master table plus its provenance."""
+
+    table: MarginalTable
+    path: str
+    source: tuple[int, ...] | None
+
+
+@dataclass(frozen=True)
+class QueryAnswer:
+    """One answered marginal query.
+
+    ``table`` is a private copy; ``path`` is the planner path that
+    *originally* produced the table (a cache hit keeps the original
+    path and sets ``cached``); ``source`` names the view or cached
+    marginal projected from, when any.
+    """
+
+    attrs: tuple[int, ...]
+    method: str
+    table: MarginalTable = field(repr=False)
+    path: str
+    cached: bool
+    elapsed_s: float
+    source: tuple[int, ...] | None = None
+
+
+class QueryEngine:
+    """Concurrent marginal answering on top of one synopsis.
+
+    Parameters
+    ----------
+    synopsis:
+        A :class:`~repro.core.synopsis.PriViewSynopsis` (fitted or
+        loaded via :func:`~repro.core.serialization.load_synopsis`).
+    cache_size / workers:
+        Answer-cache capacity and thread-pool width.
+    default_method:
+        Solver for requests that don't name one.
+    derive_from_cache:
+        Disable to force uncovered queries through the solver even
+        when a cached superset could be projected.
+    attach:
+        When True, register this engine on the synopsis so that
+        ``synopsis.marginal(...)`` / ``marginals(...)`` route through
+        it (and therefore through the cache).
+    """
+
+    def __init__(
+        self,
+        synopsis,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+        workers: int = DEFAULT_WORKERS,
+        default_method: str = "maxent",
+        derive_from_cache: bool = True,
+        attach: bool = False,
+    ):
+        if default_method not in RECONSTRUCTION_METHODS:
+            raise QueryError(
+                f"unknown reconstruction method {default_method!r}; "
+                f"choose from {RECONSTRUCTION_METHODS}"
+            )
+        self.synopsis = synopsis
+        self.default_method = default_method
+        self.derive_from_cache = derive_from_cache
+        self._planner = QueryPlanner(synopsis.views, synopsis.num_attributes)
+        self._cache = SingleFlightLRU(cache_size)
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-serve"
+        )
+        self._total = synopsis.total_count()
+        # First view wins on (hypothetical) duplicate blocks, matching
+        # covering_view's first-match rule so plans resolve bitwise
+        # identically to reconstruct()'s own covered path.
+        self._view_by_attrs: dict[tuple[int, ...], MarginalTable] = {}
+        for view in synopsis.views:
+            self._view_by_attrs.setdefault(view.attrs, view)
+        self._stats_lock = threading.Lock()
+        self._requests = 0
+        self._paths = {p: 0 for p in (PATH_COVERED, PATH_DERIVED, PATH_SOLVED, PATH_ERROR)}
+        if attach:
+            synopsis.attach_engine(self)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the thread pool down (idempotent)."""
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "QueryEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    # ------------------------------------------------------------------
+    # Answering
+    # ------------------------------------------------------------------
+    def answer(self, attrs, method: str | None = None,
+               timeout: float | None = None) -> QueryAnswer:
+        """Answer one marginal query.
+
+        With ``timeout`` the work runs on the engine pool and a
+        :class:`QueryTimeoutError` is raised if no answer arrives in
+        time — the computation keeps running and still populates the
+        cache, so a retry usually hits.
+        """
+        method = self._method(method)
+        if timeout is None:
+            return self._answer(attrs, method, None)
+        future = self._pool.submit(self._answer, attrs, method, timeout)
+        try:
+            return future.result(timeout)
+        except _FuturesTimeout:
+            self._record(PATH_ERROR)
+            obs.incr("serve.timeout")
+            raise QueryTimeoutError(
+                f"query {tuple(attrs)!r} missed its {timeout}s deadline"
+            ) from None
+
+    def answer_batch(self, queries, method: str | None = None,
+                     timeout: float | None = None) -> list[QueryAnswer]:
+        """Answer a workload of queries, de-duplicated, in parallel.
+
+        ``queries`` holds attribute sets (or ``(attrs, method)`` pairs
+        to override the batch-level method per query).  Results align
+        with the input order; repeated/equivalent sets are computed
+        once and each slot receives its own table copy.
+        """
+        batch_method = self._method(method)
+        keys: list[tuple[tuple[int, ...], str]] = []
+        for query in queries:
+            if (
+                isinstance(query, tuple)
+                and len(query) == 2
+                and isinstance(query[1], str)
+            ):
+                attrs, query_method = query
+            else:
+                attrs, query_method = query, None
+            keys.append(
+                (self._planner.validate(attrs), self._method(query_method or batch_method))
+            )
+        futures = {}
+        for key in keys:
+            if key not in futures:
+                futures[key] = self._pool.submit(self._answer, key[0], key[1], timeout)
+        results = {key: future.result(timeout) for key, future in futures.items()}
+        out = []
+        seen: set = set()
+        for key in keys:
+            answer = results[key]
+            if key in seen:
+                # duplicate slot: re-copy so slots never share arrays
+                answer = QueryAnswer(
+                    attrs=answer.attrs, method=answer.method,
+                    table=answer.table.copy(), path=answer.path,
+                    cached=True, elapsed_s=answer.elapsed_s,
+                    source=answer.source,
+                )
+            seen.add(key)
+            out.append(answer)
+        return out
+
+    # ------------------------------------------------------------------
+    def _method(self, method: str | None) -> str:
+        if method is None:
+            return self.default_method
+        if method not in RECONSTRUCTION_METHODS:
+            raise QueryError(
+                f"unknown reconstruction method {method!r}; "
+                f"choose from {RECONSTRUCTION_METHODS}"
+            )
+        return method
+
+    def _cached_supersets(self, method: str) -> dict:
+        """Completed same-method reconstructions, attrs → table."""
+        return {
+            key[0]: entry.table
+            for key, entry in self._cache.items()
+            if key[1] == method
+        }
+
+    def _answer(self, attrs, method: str,
+                wait_timeout: float | None) -> QueryAnswer:
+        start = perf_counter()
+        with obs.span("serve.request"):
+            try:
+                target = self._planner.validate(attrs)
+                key = (target, method)
+                entry, hit = self._cache.get_or_compute(
+                    key, lambda: self._compute(target, method), wait_timeout
+                )
+            except ReproError:
+                self._record(PATH_ERROR)
+                obs.incr("serve.request")
+                obs.incr(f"serve.path.{PATH_ERROR}")
+                raise
+            elapsed = perf_counter() - start
+            self._record(entry.path)
+            obs.incr("serve.request")
+            obs.incr(f"serve.path.{entry.path}")
+            obs.incr("serve.cache.hit" if hit else "serve.cache.miss")
+            obs.set_gauge("serve.cache.size", len(self._cache))
+            obs.observe("serve.request_seconds", elapsed)
+        return QueryAnswer(
+            attrs=target,
+            method=method,
+            table=entry.table.copy(),
+            path=entry.path,
+            cached=hit,
+            elapsed_s=elapsed,
+            source=entry.source,
+        )
+
+    def _compute(self, target: tuple[int, ...], method: str) -> _CacheEntry:
+        """Execute the plan for one cache miss (single-flight leader)."""
+        cached = self._cached_supersets(method) if self.derive_from_cache else None
+        plan = self._planner.plan(target, method, cached)
+        with obs.span(f"serve.compute.{plan.path}"):
+            if plan.path == PATH_COVERED:
+                table = self._view_by_attrs[plan.source].project(target)
+            elif plan.path == PATH_DERIVED:
+                table = cached[plan.source].project(target)
+            else:
+                table = reconstruct(
+                    self.synopsis.views,
+                    target,
+                    method=method,
+                    use_covering_view=False,
+                    total=self._total,
+                )
+        return _CacheEntry(table=table, path=plan.path, source=plan.source)
+
+    def _record(self, path: str) -> None:
+        with self._stats_lock:
+            self._requests += 1
+            self._paths[path] += 1
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """JSON-serialisable serving statistics (the ``/stats`` body).
+
+        ``requests`` always equals the sum of the ``paths`` values: a
+        cache hit counts under the path that originally produced the
+        entry, so every request is accounted for by planner path.
+        """
+        with self._stats_lock:
+            requests = self._requests
+            paths = dict(self._paths)
+        return {
+            "requests": requests,
+            "paths": paths,
+            "cache": self._cache.stats(),
+            "default_method": self.default_method,
+            "synopsis": {
+                "design": self.synopsis.design.notation,
+                "epsilon": self.synopsis.epsilon,
+                "num_attributes": self.synopsis.num_attributes,
+                "views": self.synopsis.num_views,
+                "total_count": self._total,
+            },
+        }

@@ -1,0 +1,110 @@
+"""Query planning: which path answers a requested marginal.
+
+A fitted synopsis can answer the marginal over an attribute set three
+ways, in increasing cost order:
+
+* **covered** — the set is contained in some view: project that view.
+  Exact, no solver, microseconds.
+* **derived** — the set is contained in a marginal the engine already
+  reconstructed (and still holds in its answer cache): project the
+  cached table.  Any view constraint on a subset of the target is
+  implied by the cached parent's constraints, so the projection is
+  feasible for the target's own constraint system; it agrees with a
+  fresh solve up to solver tolerance whenever the parent's maximum
+  entropy model factorises across the target (and is exactly the same
+  table whenever the parent itself was covered).
+* **solved** — run a reconstruction solver (the paper's Section 4.3
+  max-entropy by default).
+
+The planner only classifies; the :mod:`repro.serve.engine` executes
+the plan and owns the cache the *derived* path reads from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.reconstruction import covering_view
+from repro.exceptions import DimensionError, QueryError
+from repro.marginals.table import MarginalTable, _as_sorted_attrs
+
+#: planner paths, also used as ``/stats`` keys and obs counter suffixes
+PATH_COVERED = "covered"
+PATH_DERIVED = "derived"
+PATH_SOLVED = "solved"
+PATH_ERROR = "error"
+
+PLANNER_PATHS = (PATH_COVERED, PATH_DERIVED, PATH_SOLVED, PATH_ERROR)
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """How one marginal request will be answered.
+
+    Attributes
+    ----------
+    attrs:
+        The normalised (sorted, de-duplicated is an error) target set.
+    method:
+        Solver used if the plan falls through to ``solved``.
+    path:
+        ``covered`` / ``derived`` / ``solved``.
+    source:
+        The attrs of the view (``covered``) or cached marginal
+        (``derived``) the answer is projected from; None for
+        ``solved``.
+    """
+
+    attrs: tuple[int, ...]
+    method: str
+    path: str
+    source: tuple[int, ...] | None = None
+
+
+class QueryPlanner:
+    """Classifies attribute sets against the synopsis's views."""
+
+    def __init__(self, views: list[MarginalTable], num_attributes: int):
+        self._views = list(views)
+        self._num_attributes = int(num_attributes)
+
+    def validate(self, attrs) -> tuple[int, ...]:
+        """Normalise ``attrs`` or raise :class:`QueryError`."""
+        try:
+            target = _as_sorted_attrs(attrs)
+        except (DimensionError, TypeError, ValueError) as exc:
+            raise QueryError(f"bad attribute set {attrs!r}: {exc}") from exc
+        if target and not (0 <= target[0] and target[-1] < self._num_attributes):
+            raise QueryError(
+                f"attribute set {target} out of range "
+                f"0..{self._num_attributes - 1}"
+            )
+        return target
+
+    def plan(
+        self,
+        attrs,
+        method: str,
+        cached_supersets: dict[tuple[int, ...], MarginalTable] | None = None,
+    ) -> QueryPlan:
+        """Plan the query, preferring covered > derived > solved.
+
+        ``cached_supersets`` is a snapshot of the engine's completed
+        reconstructions for ``method`` (attrs → table); the smallest
+        superset wins, minimising projection cost.
+        """
+        target = self.validate(attrs)
+        cover = covering_view(self._views, target)
+        if cover is not None:
+            return QueryPlan(target, method, PATH_COVERED, cover.attrs)
+        if cached_supersets:
+            target_set = set(target)
+            best: tuple[int, ...] | None = None
+            for cached_attrs in cached_supersets:
+                if target_set.issubset(cached_attrs) and (
+                    best is None or len(cached_attrs) < len(best)
+                ):
+                    best = cached_attrs
+            if best is not None and best != target:
+                return QueryPlan(target, method, PATH_DERIVED, best)
+        return QueryPlan(target, method, PATH_SOLVED, None)

@@ -1,0 +1,115 @@
+"""The JSON wire protocol shared by the HTTP server and client.
+
+Requests
+--------
+``POST /v1/marginal``::
+
+    {"attrs": [0, 3, 5], "method": "maxent"}     # method optional
+
+``POST /v1/batch``::
+
+    {"queries": [{"attrs": [0, 3]}, {"attrs": [5, 1], "method": "lsq"}],
+     "method": "maxent"}                          # batch-level default
+
+Responses
+---------
+An answer payload::
+
+    {"attrs": [0, 3, 5], "k": 3, "method": "maxent", "path": "solved",
+     "cached": false, "source": null, "elapsed_ms": 1.93,
+     "total": 4000.0, "counts": [...], "meta": {...}}
+
+Batch responses wrap ``{"answers": [...], "count": n, "distinct": m}``.
+Errors (any status >= 400)::
+
+    {"error": {"type": "QueryError", "message": "..."}}
+
+``counts`` uses the library-wide cell convention: sorted attrs
+``(a_0 < ... < a_{m-1})``, cell ``i`` counts records with
+``a_j = (i >> j) & 1``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.serialization import jsonable
+from repro.exceptions import QueryError
+from repro.marginals.table import MarginalTable
+from repro.serve.engine import QueryAnswer
+
+
+def encode_answer(answer: QueryAnswer) -> dict:
+    """The JSON payload for one :class:`QueryAnswer`."""
+    return {
+        "attrs": list(answer.attrs),
+        "k": len(answer.attrs),
+        "method": answer.method,
+        "path": answer.path,
+        "cached": answer.cached,
+        "source": list(answer.source) if answer.source is not None else None,
+        "elapsed_ms": answer.elapsed_s * 1e3,
+        "total": answer.table.total(),
+        "counts": answer.table.counts.tolist(),
+        "meta": jsonable(answer.table.meta),
+    }
+
+
+def decode_table(payload: dict) -> MarginalTable:
+    """Rebuild the :class:`MarginalTable` from an answer payload."""
+    return MarginalTable(
+        tuple(payload["attrs"]),
+        np.asarray(payload["counts"], dtype=np.float64),
+        dict(payload.get("meta") or {}),
+    )
+
+
+def encode_error(exc: BaseException) -> dict:
+    """The JSON payload for a failed request."""
+    return {"error": {"type": type(exc).__name__, "message": str(exc)}}
+
+
+def _require_attrs(body: dict) -> list:
+    attrs = body.get("attrs")
+    if not isinstance(attrs, list) or not all(
+        isinstance(a, int) and not isinstance(a, bool) for a in attrs
+    ):
+        raise QueryError(
+            f"'attrs' must be a list of integer attribute indices, "
+            f"got {attrs!r}"
+        )
+    return attrs
+
+
+def parse_marginal_request(body) -> tuple[list, str | None]:
+    """Validate a ``/v1/marginal`` body into ``(attrs, method)``."""
+    if not isinstance(body, dict):
+        raise QueryError("request body must be a JSON object")
+    method = body.get("method")
+    if method is not None and not isinstance(method, str):
+        raise QueryError(f"'method' must be a string, got {method!r}")
+    return _require_attrs(body), method
+
+
+def parse_batch_request(body) -> tuple[list, str | None]:
+    """Validate a ``/v1/batch`` body into ``(queries, method)``.
+
+    ``queries`` entries are attrs lists or ``(attrs, method)`` pairs,
+    the shape :meth:`repro.serve.engine.QueryEngine.answer_batch`
+    accepts.
+    """
+    if not isinstance(body, dict):
+        raise QueryError("request body must be a JSON object")
+    raw = body.get("queries")
+    if not isinstance(raw, list) or not raw:
+        raise QueryError("'queries' must be a non-empty list")
+    method = body.get("method")
+    if method is not None and not isinstance(method, str):
+        raise QueryError(f"'method' must be a string, got {method!r}")
+    queries = []
+    for item in raw:
+        if not isinstance(item, dict):
+            raise QueryError(f"each query must be an object, got {item!r}")
+        attrs, query_method = parse_marginal_request(item)
+        queries.append((tuple(attrs), query_method) if query_method else tuple(attrs))
+    return queries, method

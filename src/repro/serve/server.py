@@ -1,0 +1,228 @@
+"""Stdlib HTTP server exposing a :class:`QueryEngine`.
+
+Endpoints (JSON protocol in :mod:`repro.serve.protocol`):
+
+* ``POST /v1/marginal`` — answer one marginal query;
+* ``POST /v1/batch``    — answer a de-duplicated workload;
+* ``GET  /healthz``     — liveness + synopsis identity;
+* ``GET  /stats``       — planner-path / cache statistics.
+
+Built on :class:`http.server.ThreadingHTTPServer` (one thread per
+connection, daemonised), with per-request deadlines enforced through
+the engine (``504`` on miss), structured JSON error bodies, and
+graceful shutdown that drains the engine pool.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from time import monotonic
+
+from repro.exceptions import QueryError, QueryTimeoutError, ReproError
+from repro.obs.log import get_logger
+from repro.serve.engine import QueryEngine
+from repro.serve.protocol import (
+    encode_answer,
+    encode_error,
+    parse_batch_request,
+    parse_marginal_request,
+)
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8177
+DEFAULT_REQUEST_TIMEOUT = 30.0
+MAX_BODY_BYTES = 4 << 20
+
+log = get_logger("serve")
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing -------------------------------------------------------
+    @property
+    def engine(self) -> QueryEngine:
+        return self.server.engine
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        log.debug("%s %s", self.address_string(), format % args)
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error(self, status: int, exc: BaseException) -> None:
+        self._send_json(status, encode_error(exc))
+
+    def _read_json(self):
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise QueryError("missing request body")
+        if length > MAX_BODY_BYTES:
+            raise QueryError(f"request body exceeds {MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise QueryError(f"invalid JSON body: {exc}") from exc
+
+    # -- routes ---------------------------------------------------------
+    def do_GET(self):  # noqa: N802 - stdlib naming
+        if self.path == "/healthz":
+            self._send_json(200, self.server.health_payload())
+        elif self.path == "/stats":
+            payload = self.engine.stats()
+            payload["server"] = self.server.server_payload()
+            self._send_json(200, payload)
+        else:
+            self._send_error(404, QueryError(f"unknown path {self.path!r}"))
+
+    def do_POST(self):  # noqa: N802 - stdlib naming
+        if self.path not in ("/v1/marginal", "/v1/batch"):
+            self._send_error(404, QueryError(f"unknown path {self.path!r}"))
+            return
+        timeout = self.server.request_timeout
+        try:
+            body = self._read_json()
+            if self.path == "/v1/marginal":
+                attrs, method = parse_marginal_request(body)
+                answer = self.engine.answer(attrs, method=method, timeout=timeout)
+                self._send_json(200, encode_answer(answer))
+            else:
+                queries, method = parse_batch_request(body)
+                answers = self.engine.answer_batch(
+                    queries, method=method, timeout=timeout
+                )
+                self._send_json(200, {
+                    "answers": [encode_answer(a) for a in answers],
+                    "count": len(answers),
+                    "distinct": len({(a.attrs, a.method) for a in answers}),
+                })
+        except QueryTimeoutError as exc:
+            self._send_error(504, exc)
+        except ReproError as exc:
+            # malformed attrs, unknown method, unanswerable query, ...
+            self._send_error(400, exc)
+        except Exception as exc:  # pragma: no cover - defensive
+            log.exception("internal error serving %s", self.path)
+            self._send_error(500, exc)
+
+
+class MarginalServer:
+    """The serving endpoint: engine + ThreadingHTTPServer lifecycle.
+
+    Use as a context manager, or call :meth:`start` /
+    :meth:`serve_forever` and :meth:`shutdown` explicitly.  Pass
+    ``port=0`` to bind an ephemeral port (see :attr:`address`).
+    """
+
+    def __init__(
+        self,
+        engine: QueryEngine,
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+        request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
+        own_engine: bool = True,
+    ):
+        self.engine = engine
+        self._own_engine = own_engine
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.engine = engine
+        self._httpd.request_timeout = request_timeout
+        self._httpd.health_payload = self._health_payload
+        self._httpd.server_payload = self._server_payload
+        self._thread: threading.Thread | None = None
+        self._started_at = monotonic()
+
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        """``(host, port)`` actually bound."""
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def _health_payload(self) -> dict:
+        synopsis = self.engine.synopsis
+        return {
+            "status": "ok",
+            "design": synopsis.design.notation,
+            "epsilon": synopsis.epsilon,
+            "num_attributes": synopsis.num_attributes,
+            "views": synopsis.num_views,
+            "uptime_s": monotonic() - self._started_at,
+        }
+
+    def _server_payload(self) -> dict:
+        host, port = self.address
+        return {
+            "host": host,
+            "port": port,
+            "request_timeout_s": self._httpd.request_timeout,
+            "uptime_s": monotonic() - self._started_at,
+        }
+
+    # ------------------------------------------------------------------
+    def start(self) -> "MarginalServer":
+        """Serve on a background daemon thread; returns self."""
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-serve-http",
+            daemon=True,
+        )
+        self._thread.start()
+        log.info("serving on %s", self.url)
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`shutdown`."""
+        log.info("serving on %s", self.url)
+        self._httpd.serve_forever()
+
+    def shutdown(self) -> None:
+        """Stop accepting requests, close the socket, drain the engine."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+        if self._own_engine:
+            self.engine.close()
+
+    def __enter__(self) -> "MarginalServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.shutdown()
+        return False
+
+
+def serve_synopsis(
+    synopsis_or_path,
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
+    **engine_kwargs,
+) -> MarginalServer:
+    """Build an engine for a synopsis (object or saved ``.npz`` path)
+    and wrap it in an unstarted :class:`MarginalServer`."""
+    from repro.core.serialization import load_synopsis
+    from repro.core.synopsis import PriViewSynopsis
+
+    if not isinstance(synopsis_or_path, PriViewSynopsis):
+        synopsis_or_path = load_synopsis(synopsis_or_path)
+    engine = QueryEngine(synopsis_or_path, attach=True, **engine_kwargs)
+    return MarginalServer(
+        engine, host=host, port=port, request_timeout=request_timeout
+    )

@@ -1,10 +1,12 @@
 """Tests for synopsis persistence."""
 
+import json
+
 import numpy as np
 import pytest
 
 from repro.core.priview import PriView
-from repro.core.serialization import load_synopsis, save_synopsis
+from repro.core.serialization import jsonable, load_synopsis, save_synopsis
 from repro.covering.repository import best_design
 from repro.exceptions import DatasetError
 
@@ -37,6 +39,56 @@ class TestRoundTrip:
     def test_metadata_preserved(self, synopsis, tmp_path):
         path = save_synopsis(synopsis, tmp_path / "s.npz")
         assert load_synopsis(path).metadata == synopsis.metadata
+
+    def test_view_meta_round_trips(self, synopsis, tmp_path):
+        """Table ``meta`` (solver/convergence telemetry) must survive
+        save/load so a served synopsis reports the same diagnostics as
+        a freshly fitted one."""
+        synopsis.views[0].meta["maxent"] = {
+            "iterations": np.int64(17),
+            "residual": np.float64(3.5e-10),
+            "converged": True,
+            "damped": False,
+        }
+        synopsis.views[1].meta["note"] = "post-processed"
+        path = save_synopsis(synopsis, tmp_path / "meta.npz")
+        again = load_synopsis(path)
+        assert again.views[0].meta == {
+            "maxent": {
+                "iterations": 17,
+                "residual": 3.5e-10,
+                "converged": True,
+                "damped": False,
+            }
+        }
+        assert again.views[1].meta == {"note": "post-processed"}
+        assert all(v.meta == {} for v in again.views[2:])
+
+    def test_loaded_synopsis_reports_same_solver_diagnostics(
+        self, synopsis, tmp_path
+    ):
+        """Solver telemetry of reconstructions from the loaded synopsis
+        matches the fitted one's (identical views => identical runs)."""
+        path = save_synopsis(synopsis, tmp_path / "diag.npz")
+        again = load_synopsis(path)
+        attrs = (0, 2, 4, 6, 8)  # 5 attrs cannot fit a size-4 block
+        fresh = synopsis.marginal(attrs)
+        served = again.marginal(attrs)
+        assert served.meta["maxent"] == fresh.meta["maxent"]
+
+    def test_jsonable_coerces_numpy(self):
+        blob = jsonable(
+            {
+                "a": np.float32(1.5),
+                "b": np.array([1, 2]),
+                "c": (np.bool_(True), None),
+                4: "key becomes str",
+            }
+        )
+        assert blob == {
+            "a": 1.5, "b": [1, 2], "c": [True, None], "4": "key becomes str",
+        }
+        json.dumps(blob)  # must be serialisable as-is
 
     def test_missing_file(self, tmp_path):
         with pytest.raises(DatasetError):

@@ -1,0 +1,156 @@
+"""LRU bound and single-flight semantics of the answer cache."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.exceptions import QueryTimeoutError
+from repro.serve import SingleFlightLRU
+
+
+class TestLRU:
+    def test_basic_get_or_compute(self):
+        cache = SingleFlightLRU(4)
+        value, hit = cache.get_or_compute("a", lambda: 1)
+        assert (value, hit) == (1, False)
+        value, hit = cache.get_or_compute("a", lambda: 99)
+        assert (value, hit) == (1, True)
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_capacity_bound_evicts_least_recently_used(self):
+        cache = SingleFlightLRU(3)
+        for key in "abc":
+            cache.get_or_compute(key, lambda k=key: k.upper())
+        assert cache.get("a") == "A"  # refresh a; b is now LRU
+        cache.get_or_compute("d", lambda: "D")
+        assert len(cache) == 3
+        assert cache.get("b") is None
+        assert cache.get("a") == "A"
+        assert cache.stats()["evictions"] == 1
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            SingleFlightLRU(0)
+
+    def test_items_snapshot(self):
+        cache = SingleFlightLRU(4)
+        cache.get_or_compute("a", lambda: 1)
+        cache.get_or_compute("b", lambda: 2)
+        assert dict(cache.items()) == {"a": 1, "b": 2}
+
+
+class TestSingleFlight:
+    def test_concurrent_requests_compute_once(self):
+        cache = SingleFlightLRU(8)
+        calls = []
+        release = threading.Event()
+
+        def factory():
+            calls.append(threading.get_ident())
+            release.wait(2.0)
+            return "value"
+
+        results = []
+        threads = [
+            threading.Thread(
+                target=lambda: results.append(
+                    cache.get_or_compute("k", factory)
+                )
+            )
+            for _ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        # let every thread reach the cache before releasing the leader
+        deadline = time.monotonic() + 2.0
+        while cache.stats()["coalesced"] < 7 and time.monotonic() < deadline:
+            time.sleep(0.001)
+        release.set()
+        for thread in threads:
+            thread.join(timeout=5)
+        assert len(calls) == 1
+        assert len(results) == 8
+        assert all(value == "value" for value, _ in results)
+        # exactly one miss (the leader); everyone else coalesced
+        stats = cache.stats()
+        assert stats["misses"] == 1
+        assert stats["coalesced"] == 7
+
+    def test_factory_error_propagates_and_is_not_cached(self):
+        cache = SingleFlightLRU(4)
+
+        def boom():
+            raise RuntimeError("solver exploded")
+
+        with pytest.raises(RuntimeError):
+            cache.get_or_compute("k", boom)
+        assert cache.get("k") is None
+        # the key is retryable afterwards
+        value, hit = cache.get_or_compute("k", lambda: "fine")
+        assert (value, hit) == ("fine", False)
+
+    def test_error_reaches_waiters(self):
+        cache = SingleFlightLRU(4)
+        started = threading.Event()
+        release = threading.Event()
+        errors = []
+
+        def leader():
+            def boom():
+                started.set()
+                release.wait(2.0)
+                raise RuntimeError("shared failure")
+
+            try:
+                cache.get_or_compute("k", boom)
+            except RuntimeError as exc:
+                errors.append(exc)
+
+        def follower():
+            started.wait(2.0)
+            try:
+                cache.get_or_compute("k", lambda: "never")
+            except RuntimeError as exc:
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=leader),
+            threading.Thread(target=follower),
+        ]
+        for thread in threads:
+            thread.start()
+        started.wait(2.0)
+        # make sure the follower has parked before the leader fails
+        deadline = time.monotonic() + 2.0
+        while cache.stats()["coalesced"] < 1 and time.monotonic() < deadline:
+            time.sleep(0.001)
+        release.set()
+        for thread in threads:
+            thread.join(timeout=5)
+        assert len(errors) == 2
+
+    def test_waiter_timeout(self):
+        cache = SingleFlightLRU(4)
+        started = threading.Event()
+        release = threading.Event()
+
+        def slow():
+            started.set()
+            release.wait(5.0)
+            return "late"
+
+        leader = threading.Thread(
+            target=lambda: cache.get_or_compute("k", slow)
+        )
+        leader.start()
+        assert started.wait(2.0)
+        with pytest.raises(QueryTimeoutError):
+            cache.get_or_compute("k", lambda: "n/a", wait_timeout=0.05)
+        release.set()
+        leader.join(timeout=5)
+        # the leader's value landed despite the waiter's timeout
+        assert cache.get("k") == "late"

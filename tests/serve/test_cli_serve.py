@@ -1,0 +1,69 @@
+"""CLI coverage for the ``serve`` / ``query`` verbs."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.serialization import save_synopsis
+
+
+@pytest.fixture
+def synopsis_path(chain_synopsis, tmp_path):
+    return save_synopsis(chain_synopsis, tmp_path / "synopsis.npz")
+
+
+class TestQueryVerb:
+    def test_local_query_human_output(self, synopsis_path, capsys):
+        code = main(["query", "0,1", "--synopsis", str(synopsis_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "marginal (0, 1)" in out
+        assert "path=covered" in out
+
+    def test_local_query_json_output(self, synopsis_path, capsys):
+        code = main(
+            ["query", "0,4", "4,0", "--synopsis", str(synopsis_path), "--json"]
+        )
+        assert code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        payloads = [json.loads(line) for line in lines]
+        assert [p["attrs"] for p in payloads] == [[0, 4], [0, 4]]
+        assert payloads[0]["path"] == "solved"
+        # the duplicate came from the dedup'd batch path
+        assert payloads[1]["cached"] is True
+
+    def test_bad_attrs_exit(self, synopsis_path):
+        with pytest.raises(SystemExit):
+            main(["query", "0,x", "--synopsis", str(synopsis_path)])
+
+    def test_requires_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["query", "0,1"])
+
+
+class TestQueryAgainstServer:
+    def test_query_url_round_trip(self, chain_synopsis, capsys):
+        from repro.serve import MarginalServer, QueryEngine
+
+        engine = QueryEngine(chain_synopsis)
+        with MarginalServer(engine, port=0) as server:
+            code = main(["query", "0,1", "--url", server.url, "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out.strip())
+        assert payload["path"] == "covered"
+
+
+class TestServeParser:
+    def test_serve_args_parse(self):
+        args = build_parser().parse_args(
+            [
+                "serve", "--synopsis", "s.npz", "--port", "0",
+                "--cache-size", "64", "--workers", "2", "--timeout", "5",
+            ]
+        )
+        assert args.command == "serve"
+        assert args.port == 0
+        assert args.cache_size == 64
