@@ -29,7 +29,7 @@ from repro.core.serialization import save_synopsis
 from repro.covering.repository import best_design
 from repro.exceptions import QueryError
 from repro.marginals.dataset import BinaryDataset
-from repro.serve import QueryClient, serve_synopsis
+from repro.serve import QueryClient, serve_source
 
 COVERED = (0, 1)             # pairs are covered by any t=2 design
 UNCOVERED = (0, 2, 4, 6, 8)  # 5 attrs cannot fit a size-4 block
@@ -59,7 +59,7 @@ def main() -> int:
     with tempfile.TemporaryDirectory() as tmp:
         path = save_synopsis(synopsis, pathlib.Path(tmp) / "synopsis.npz")
         print(f"saved to {path}; serving ...")
-        server = serve_synopsis(path, port=args.port).start()
+        server = serve_source(path, port=args.port).start()
         try:
             client = QueryClient(server.url)
             print(f"serving at {server.url}")

@@ -13,6 +13,16 @@ Quickstart
 >>> synopsis = PriView(epsilon=1.0, seed=1).fit(dataset)
 >>> table = synopsis.marginal((0, 3, 7, 11))  # private 4-way marginal
 
+Large fits run the same pipeline on bit-sliced popcount kernels and a
+deterministic worker pool (``docs/PERFORMANCE.md``)::
+
+    PriView(epsilon=1.0, seed=1, packed=True, workers=8).fit(dataset)
+
+Attribute sets are canonicalised everywhere by :class:`AttrSet`, and
+every mechanism — PriView and each baseline — satisfies the
+structural :class:`Mechanism` / :class:`MarginalSource` protocols, so
+experiment drivers and ``repro.serve`` host them interchangeably.
+
 Package map
 -----------
 ``repro.core``
@@ -33,6 +43,10 @@ Package map
     Error measures and the paper's closed-form error analysis.
 ``repro.experiments``
     Drivers reproducing every table and figure of the evaluation.
+``repro.kernels``
+    Bit-sliced marginal kernels and the deterministic parallel fit.
+``repro.serve``
+    Concurrent query serving over any fitted marginal source.
 ``repro.obs``
     Tracing spans, pipeline counters, and the privacy-budget ledger
     (see ``docs/OBSERVABILITY.md``); inert unless a session is active.
@@ -40,18 +54,31 @@ Package map
 
 from repro.core import PriView, PriViewSynopsis
 from repro.covering import CoveringDesign
-from repro.marginals import BinaryDataset, FullContingencyTable, MarginalTable
+from repro.baselines.base import MarginalSource, Mechanism
+from repro.kernels import PackedDataset, fit_defaults, set_fit_defaults
+from repro.marginals import (
+    AttrSet,
+    BinaryDataset,
+    FullContingencyTable,
+    MarginalTable,
+)
 from repro.mechanisms import PrivacyBudget
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "PriView",
     "PriViewSynopsis",
     "CoveringDesign",
+    "AttrSet",
     "BinaryDataset",
     "FullContingencyTable",
+    "MarginalSource",
     "MarginalTable",
+    "Mechanism",
+    "PackedDataset",
     "PrivacyBudget",
+    "fit_defaults",
+    "set_fit_defaults",
     "__version__",
 ]

@@ -13,7 +13,11 @@ with the privacy accounting done as if everything were released (the
 noise scale uses the full count ``m``).
 """
 
-from repro.baselines.base import MarginalReleaseMechanism
+from repro.baselines.base import (
+    MarginalReleaseMechanism,
+    MarginalSource,
+    Mechanism,
+)
 from repro.baselines.uniform import UniformMethod
 from repro.baselines.flat import FlatMethod, flat_expected_normalized_l2
 from repro.baselines.direct import DirectMethod
@@ -28,6 +32,8 @@ from repro.baselines.datacube import DataCubeMethod
 
 __all__ = [
     "MarginalReleaseMechanism",
+    "MarginalSource",
+    "Mechanism",
     "UniformMethod",
     "FlatMethod",
     "flat_expected_normalized_l2",

@@ -1,19 +1,67 @@
-"""The common mechanism protocol shared by all baselines and PriView."""
+"""The common mechanism protocol shared by all baselines and PriView.
+
+Two structural protocols define the public API every consumer codes
+against (no ``isinstance`` special-cases anywhere in ``repro``):
+
+* :class:`MarginalSource` — anything answering ``marginal(attrs)``:
+  a fitted baseline, a :class:`~repro.core.synopsis.PriViewSynopsis`,
+  a raw :class:`~repro.marginals.dataset.BinaryDataset`, or the
+  bit-sliced :class:`~repro.kernels.PackedDataset`.
+* :class:`Mechanism` — a private mechanism: ``name``, ``epsilon`` and
+  ``fit(dataset)`` returning a :class:`MarginalSource` (baselines
+  return ``self``; ``PriView.fit`` returns the synopsis).
+
+:class:`MarginalReleaseMechanism` remains the convenience ABC the
+bundled baselines subclass; third-party mechanisms only need to
+satisfy the protocols.
+"""
 
 from __future__ import annotations
 
 import abc
+from typing import Protocol, runtime_checkable
 
 import numpy as np
 
 from repro import obs
 from repro.exceptions import PrivacyBudgetError, ReconstructionError
+from repro.marginals.attrs import AttrSet
 from repro.marginals.dataset import BinaryDataset
 from repro.marginals.table import MarginalTable
 
 
-class MarginalReleaseMechanism(abc.ABC):
+@runtime_checkable
+class MarginalSource(Protocol):
+    """Anything that answers marginal queries.
+
+    ``marginal(attrs)`` returns the :class:`MarginalTable` over the
+    attribute set (canonicalised with
+    :class:`~repro.marginals.attrs.AttrSet`).
+    """
+
+    def marginal(self, attrs) -> MarginalTable: ...
+
+
+@runtime_checkable
+class Mechanism(Protocol):
     """A differentially private marginal-release mechanism.
+
+    ``fit(dataset)`` consumes the private data exactly once and
+    returns a :class:`MarginalSource` — the fitted mechanism itself
+    (the baseline convention) or a standalone synopsis object (the
+    PriView convention).  ``epsilon`` is the total budget ``fit``
+    spends; ``name`` identifies the mechanism in experiment reports
+    and observability scopes.
+    """
+
+    name: str
+    epsilon: float
+
+    def fit(self, dataset: BinaryDataset): ...
+
+
+class MarginalReleaseMechanism(abc.ABC):
+    """Convenience ABC implementing the :class:`Mechanism` protocol.
 
     Subclasses set :attr:`name` and implement :meth:`_fit` and
     :meth:`_marginal`.  ``epsilon = inf`` is allowed everywhere and
@@ -47,11 +95,30 @@ class MarginalReleaseMechanism(abc.ABC):
         self._fitted = True
         return self
 
+    @property
+    def fitted(self) -> bool:
+        """Whether :meth:`fit` has been called."""
+        return self._fitted
+
+    @property
+    def num_attributes(self) -> int:
+        """``d`` of the fitted dataset."""
+        if not self._fitted:
+            raise ReconstructionError(f"{self.name}: call fit() first")
+        return self._num_attributes
+
+    @property
+    def num_records(self) -> int:
+        """``N`` of the fitted dataset."""
+        if not self._fitted:
+            raise ReconstructionError(f"{self.name}: call fit() first")
+        return self._num_records
+
     def marginal(self, attrs) -> MarginalTable:
         """The mechanism's answer for the marginal over ``attrs``."""
         if not self._fitted:
             raise ReconstructionError(f"{self.name}: call fit() before marginal()")
-        return self._marginal(tuple(sorted(int(a) for a in attrs)))
+        return self._marginal(AttrSet(attrs, num_attributes=self._num_attributes))
 
     @abc.abstractmethod
     def _fit(self, dataset: BinaryDataset) -> None:

@@ -5,6 +5,7 @@ Examples::
     python -m repro list
     python -m repro run figure1 --scale quick
     python -m repro run figure1 --scale quick --trace
+    python -m repro run figure1 --scale medium --packed --workers 4
     python -m repro run figure2 --scale paper --seed 3 --log-level info
     python -m repro run all --scale medium --trace-out results/trace.jsonl
     python -m repro serve --synopsis synopsis.npz --port 8177
@@ -68,6 +69,16 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--log-level", choices=LEVELS, default=None,
         help="logging verbosity on stderr (default: warning)",
+    )
+    run_parser.add_argument(
+        "--packed", action="store_true",
+        help="extract marginals on the bit-sliced popcount kernels "
+        "(bitwise-identical results, see docs/PERFORMANCE.md)",
+    )
+    run_parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="fan each PriView fit over N workers (per-view seeded "
+        "noise streams; synopsis independent of N)",
     )
 
     serve_parser = sub.add_parser(
@@ -157,7 +168,7 @@ def _render_answer(payload: dict) -> str:
 
 def _cmd_serve(args) -> int:
     from repro.serve import server as serve_server
-    from repro.serve.server import serve_synopsis
+    from repro.serve.server import serve_source
 
     log = get_logger("cli")
     engine_kwargs = {}
@@ -167,7 +178,7 @@ def _cmd_serve(args) -> int:
         engine_kwargs["workers"] = args.workers
     if args.method is not None:
         engine_kwargs["default_method"] = args.method
-    server = serve_synopsis(
+    server = serve_source(
         args.synopsis,
         host=args.host if args.host is not None else serve_server.DEFAULT_HOST,
         port=args.port if args.port is not None else serve_server.DEFAULT_PORT,
@@ -233,6 +244,15 @@ def main(argv=None) -> int:
     if args.command == "query":
         return _cmd_query(args)
     log = get_logger("cli")
+    kernel_defaults = {}
+    if args.workers is not None:
+        kernel_defaults["workers"] = args.workers
+    if args.packed:
+        kernel_defaults["packed"] = True
+    if kernel_defaults:
+        from repro.kernels import set_fit_defaults
+
+        set_fit_defaults(**kernel_defaults)
     targets = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     run_all = args.experiment == "all"
     tracing = args.trace or args.trace_out is not None

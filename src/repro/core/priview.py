@@ -10,6 +10,20 @@ Typical use::
 ``fit`` spends the entire epsilon on the noisy views (Laplace noise of
 scale ``w / epsilon`` per view, by sequential composition over the
 ``w`` views); everything afterwards is post-processing and free.
+
+The fit hot path (one exact ℓ-way marginal per view — the only step
+touching raw records) can run on the bit-sliced popcount kernels and
+a worker pool from :mod:`repro.kernels`::
+
+    PriView(epsilon=1.0, seed=7, packed=True, workers=8).fit(dataset)
+
+``packed=True`` alone changes *nothing* about the released synopsis
+(the packed marginal is bitwise identical and the noise stream is
+untouched).  Setting ``workers`` switches the noise to per-view
+``SeedSequence.spawn`` child streams: the synopsis is then
+bit-identical for any worker count (1, 2, 8, …) and backend, though
+different from the legacy ``workers=None`` sequential stream.  See
+``docs/PERFORMANCE.md``.
 """
 
 from __future__ import annotations
@@ -28,6 +42,9 @@ from repro.core.view_selection import (
 )
 from repro.covering.design import CoveringDesign
 from repro.exceptions import PrivacyBudgetError
+from repro.kernels import config as kernels_config
+from repro.kernels.fit import generate_noisy_views as _parallel_noisy_views
+from repro.kernels.packed import as_packed
 from repro.marginals.dataset import BinaryDataset
 from repro.marginals.table import MarginalTable
 from repro.mechanisms.laplace import noisy_marginal
@@ -61,7 +78,25 @@ class PriView:
         Ripple threshold.
     seed:
         Seeds the noise generator for reproducible experiments.
+    packed:
+        Run marginal extraction on the bit-sliced popcount kernels
+        (:class:`repro.kernels.PackedDataset`).  Bitwise identical
+        output, typically ~10x faster extraction.  ``None`` (default)
+        inherits the process-wide default set through
+        :func:`repro.kernels.set_fit_defaults` (e.g. the CLI's
+        ``run --packed``).
+    workers:
+        ``None`` (default, possibly overridden by the process-wide
+        default): legacy sequential noise stream.  Any integer: fan
+        the views out over that many workers with per-view
+        ``SeedSequence.spawn`` streams — bit-identical for every
+        worker count, including 1.
+    backend:
+        Executor backend for the parallel path: ``auto`` (threads),
+        ``serial``, ``thread`` or ``process``.
     """
+
+    name = "priview"
 
     def __init__(
         self,
@@ -74,9 +109,13 @@ class PriView:
         theta: float = DEFAULT_THETA,
         consistency: bool = True,
         seed: int | None = None,
+        packed: bool | None = None,
+        workers: int | None = None,
+        backend: str = "auto",
     ):
         if epsilon <= 0:
             raise PrivacyBudgetError(f"epsilon must be positive, got {epsilon}")
+        defaults = kernels_config.fit_defaults()
         self.epsilon = float(epsilon)
         self.view_width = view_width
         self.strength = strength
@@ -85,7 +124,11 @@ class PriView:
         self.nonneg_rounds = nonneg_rounds
         self.theta = theta
         self.consistency = consistency
+        self.packed = defaults["packed"] if packed is None else bool(packed)
+        self.workers = defaults["workers"] if workers is None else workers
+        self.backend = backend
         self._rng = np.random.default_rng(seed)
+        self._seed_seq = np.random.SeedSequence(seed)
 
     # ------------------------------------------------------------------
     def choose_design(self, dataset: BinaryDataset) -> CoveringDesign:
@@ -108,14 +151,32 @@ class PriView:
     def generate_noisy_views(
         self, dataset: BinaryDataset, design: CoveringDesign
     ) -> list[MarginalTable]:
-        """Step 2: the only step that touches the private data."""
+        """Step 2: the only step that touches the private data.
+
+        With ``packed`` the exact marginals come off the bit-sliced
+        popcount kernels (bitwise-identical counts); with ``workers``
+        set, views are fanned out with per-view child noise streams
+        (see the class docstring for the determinism contract).
+        """
         w = design.num_blocks
-        return [
-            noisy_marginal(
-                dataset.marginal(block), self.epsilon, sensitivity=w, rng=self._rng
-            )
-            for block in design.blocks
-        ]
+        source = as_packed(dataset) if self.packed else dataset
+        if self.workers is None:
+            obs.set_gauge("fit.workers", 1)
+            return [
+                noisy_marginal(
+                    source.marginal(block), self.epsilon, sensitivity=w, rng=self._rng
+                )
+                for block in design.blocks
+            ]
+        return _parallel_noisy_views(
+            source,
+            design.blocks,
+            self.epsilon,
+            sensitivity=w,
+            root_seed=self._seed_seq,
+            workers=self.workers,
+            backend=self.backend,
+        )
 
     def post_process(self, views: list[MarginalTable]) -> list[MarginalTable]:
         """Steps 3: consistency and non-negativity, in the paper's order.
@@ -155,6 +216,7 @@ class PriView:
                 design = self.choose_design(dataset)
             obs.set_gauge("priview.design_blocks", design.num_blocks)
             obs.set_gauge("priview.design_width", design.block_size)
+            obs.set_gauge("fit.packed", int(self.packed))
             with obs.span("noisy_views"):
                 views = self.generate_noisy_views(dataset, design)
             with obs.span("post_process"):

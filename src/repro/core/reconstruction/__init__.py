@@ -23,7 +23,8 @@ from repro.core.reconstruction.least_squares import least_squares
 from repro.core.reconstruction.linear_program import linear_program
 from repro.core.reconstruction.maxent import maxent, maxent_dual
 from repro.exceptions import ReconstructionError
-from repro.marginals.table import MarginalTable, _as_sorted_attrs
+from repro.marginals.attrs import AttrSet
+from repro.marginals.table import MarginalTable
 
 _SOLVERS = {
     "maxent": maxent,
@@ -66,7 +67,7 @@ def reconstruct(
             f"unknown reconstruction method {method!r}; "
             f"choose from {RECONSTRUCTION_METHODS}"
         )
-    target = _as_sorted_attrs(target_attrs)
+    target = AttrSet(target_attrs)
     with obs.span("reconstruct"):
         if use_covering_view:
             cover = covering_view(views, target)

@@ -15,7 +15,8 @@ import numpy as np
 
 from repro.exceptions import ReconstructionError
 from repro.marginals.projection import constraint_matrix, subset_positions
-from repro.marginals.table import MarginalTable, _as_sorted_attrs
+from repro.marginals.attrs import AttrSet
+from repro.marginals.table import MarginalTable
 
 
 @dataclass(frozen=True)
@@ -42,7 +43,7 @@ def extract_constraints(
     and duplicate sets are collapsed to one (their targets agree after
     consistency; we average to also support raw views).
     """
-    target = _as_sorted_attrs(target_attrs)
+    target = AttrSet(target_attrs)
     target_set = set(target)
     by_attrs: dict[tuple[int, ...], list[np.ndarray]] = {}
     for view in views:
@@ -72,7 +73,7 @@ def extract_constraints(
 
 def covering_view(views: list[MarginalTable], target_attrs) -> MarginalTable | None:
     """The first view fully containing the target, if any (trivial case)."""
-    target = set(_as_sorted_attrs(target_attrs))
+    target = set(AttrSet(target_attrs))
     for view in views:
         if target.issubset(view.attrs):
             return view
@@ -89,7 +90,7 @@ def build_constraint_system(
     Used by the LP and least-squares solvers; the max-entropy solver
     works directly on the structured constraints instead.
     """
-    target = _as_sorted_attrs(target_attrs)
+    target = AttrSet(target_attrs)
     k = len(target)
     rows = []
     rhs = []

@@ -22,7 +22,8 @@ from repro.core.reconstruction.constraints import (
     MarginalConstraint,
     build_constraint_system,
 )
-from repro.marginals.table import MarginalTable, _as_sorted_attrs
+from repro.marginals.attrs import AttrSet
+from repro.marginals.table import MarginalTable
 
 #: Weight of the constraint residual relative to the norm objective.
 CONSTRAINT_PENALTY = 1e6
@@ -34,7 +35,7 @@ def least_squares(
     total: float,
 ) -> MarginalTable:
     """Minimum-L2-norm non-negative table matching the constraints."""
-    target = _as_sorted_attrs(target_attrs)
+    target = AttrSet(target_attrs)
     if not constraints:
         return MarginalTable.uniform(target, max(total, 0.0))
     matrix, rhs = build_constraint_system(constraints, target)

@@ -21,7 +21,8 @@ from repro.core.reconstruction.constraints import (
     build_constraint_system,
 )
 from repro.exceptions import ReconstructionError
-from repro.marginals.table import MarginalTable, _as_sorted_attrs
+from repro.marginals.attrs import AttrSet
+from repro.marginals.table import MarginalTable
 
 
 def linear_program(
@@ -30,7 +31,7 @@ def linear_program(
     total: float,
 ) -> MarginalTable:
     """Solve the min-max-violation LP with scipy's HiGHS backend."""
-    target = _as_sorted_attrs(target_attrs)
+    target = AttrSet(target_attrs)
     if not constraints:
         return MarginalTable.uniform(target, max(total, 0.0))
     matrix, rhs = build_constraint_system(constraints, target)

@@ -24,7 +24,8 @@ from repro import obs
 from repro.core.reconstruction.constraints import MarginalConstraint
 from repro.exceptions import ReconstructionError
 from repro.marginals.projection import projection_map, subset_positions
-from repro.marginals.table import MarginalTable, _as_sorted_attrs
+from repro.marginals.attrs import AttrSet
+from repro.marginals.table import MarginalTable
 
 _TINY = 1e-12
 
@@ -75,7 +76,7 @@ def maxent(
         with the convergence record (iterations, final residual,
         whether the damped fallback ran) in ``table.meta["maxent"]``.
     """
-    target = _as_sorted_attrs(target_attrs)
+    target = AttrSet(target_attrs)
     k = len(target)
     total = max(float(total), _TINY)
     if not constraints:
@@ -165,7 +166,7 @@ def maxent_dual(
 
     from repro.core.reconstruction.constraints import build_constraint_system
 
-    target = _as_sorted_attrs(target_attrs)
+    target = AttrSet(target_attrs)
     total = max(float(total), _TINY)
     if not constraints:
         table = MarginalTable.uniform(target, total)

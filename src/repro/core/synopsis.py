@@ -13,7 +13,8 @@ from dataclasses import dataclass, field
 
 from repro.core.reconstruction import reconstruct
 from repro.covering.design import CoveringDesign
-from repro.marginals.table import MarginalTable, _as_sorted_attrs
+from repro.marginals.attrs import AttrSet
+from repro.marginals.table import MarginalTable
 
 
 @dataclass
@@ -73,7 +74,7 @@ class PriViewSynopsis:
 
     def is_covered(self, attrs) -> bool:
         """True when some view fully contains ``attrs``."""
-        target = set(_as_sorted_attrs(attrs))
+        target = set(AttrSet(attrs))
         return any(target.issubset(v.attrs) for v in self.views)
 
     def marginal(self, attrs, method: str = "maxent") -> MarginalTable:
@@ -106,7 +107,7 @@ class PriViewSynopsis:
         distinct: dict[tuple[int, ...], MarginalTable] = {}
         out = []
         for attrs in attr_sets:
-            target = _as_sorted_attrs(attrs)
+            target = AttrSet(attrs)
             table = distinct.get(target)
             if table is None:
                 table = distinct[target] = self.marginal(target, method=method)

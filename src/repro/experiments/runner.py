@@ -14,6 +14,7 @@ from typing import Callable
 import numpy as np
 
 from repro import obs
+from repro.baselines.base import MarginalSource
 from repro.marginals.dataset import BinaryDataset
 from repro.marginals.table import MarginalTable
 from repro.metrics.candlestick import Candlestick, candlestick
@@ -98,7 +99,7 @@ class ExperimentResult:
 
 
 def evaluate_mechanism(
-    make_mechanism: Callable[[int], object],
+    make_mechanism: Callable[[int], MarginalSource],
     dataset: BinaryDataset,
     queries: list[tuple[int, ...]],
     num_runs: int,
@@ -110,9 +111,12 @@ def evaluate_mechanism(
     ----------
     make_mechanism:
         Called once per run with the run index; must return a fitted
-        object exposing ``marginal(attrs) -> MarginalTable`` (a
+        :class:`~repro.baselines.base.MarginalSource` — any object
+        exposing ``marginal(attrs) -> MarginalTable`` (a
         :class:`~repro.baselines.base.MarginalReleaseMechanism` after
-        ``fit``, or a :class:`~repro.core.synopsis.PriViewSynopsis`).
+        ``fit``, a :class:`~repro.core.synopsis.PriViewSynopsis`, or
+        any third-party :class:`~repro.baselines.base.Mechanism`'s
+        fit result); no isinstance checks are performed.
     dataset:
         Ground truth source.
     queries:
@@ -129,7 +133,7 @@ def evaluate_mechanism(
 
 
 def evaluate_mechanism_metrics(
-    make_mechanism: Callable[[int], object],
+    make_mechanism: Callable[[int], MarginalSource],
     dataset: BinaryDataset,
     queries: list[tuple[int, ...]],
     num_runs: int,

@@ -1,0 +1,58 @@
+"""``repro.kernels`` — the fit hot path, made fast.
+
+Three ingredients (see ``docs/PERFORMANCE.md`` for the full story):
+
+* :class:`PackedDataset` — bit-sliced dataset (one uint64 word per 64
+  records per attribute) with a popcount marginal kernel that is
+  bitwise identical to ``BinaryDataset.marginal`` and roughly an
+  order of magnitude faster, streaming over chunks of records.
+* :class:`ParallelExecutor` + :func:`generate_noisy_views` — fans the
+  per-view work of ``PriView.fit`` out over threads or processes with
+  per-view ``SeedSequence.spawn`` child streams, so the synopsis is
+  bit-identical for any worker count.
+* :mod:`repro.kernels.indexcache` — introspection over the shared
+  subset→index-map caches every projection, consistency pass and
+  constraint builder draws from.
+
+Front-ends set process-wide fit defaults through
+:func:`set_fit_defaults` (the CLI's ``run --workers/--packed``).
+"""
+
+from repro.kernels.config import fit_defaults, set_fit_defaults
+from repro.kernels.executor import (
+    BACKENDS,
+    ParallelExecutor,
+    resolve_workers,
+    spawn_generators,
+    spawn_seed_sequences,
+)
+from repro.kernels.fit import generate_noisy_views
+from repro.kernels.packed import (
+    DEFAULT_CHUNK_WORDS,
+    PackedDataset,
+    as_packed,
+    moebius_from_subset_counts,
+    pack_columns,
+    popcount_words,
+    unpack_columns,
+)
+from repro.kernels import indexcache
+
+__all__ = [
+    "BACKENDS",
+    "DEFAULT_CHUNK_WORDS",
+    "PackedDataset",
+    "ParallelExecutor",
+    "as_packed",
+    "fit_defaults",
+    "generate_noisy_views",
+    "indexcache",
+    "moebius_from_subset_counts",
+    "pack_columns",
+    "popcount_words",
+    "resolve_workers",
+    "set_fit_defaults",
+    "spawn_generators",
+    "spawn_seed_sequences",
+    "unpack_columns",
+]

@@ -1,0 +1,38 @@
+"""Process-wide defaults for the fit kernels.
+
+``PriView`` resolves its ``workers`` / ``packed`` constructor defaults
+here, so front-ends (the CLI's ``run --workers/--packed`` flags, test
+harnesses) can switch every fit in the process onto the packed
+kernels or a worker pool without threading parameters through each
+experiment driver.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ReproError
+
+_UNSET = object()
+
+_DEFAULTS: dict = {"workers": None, "packed": False}
+
+
+def set_fit_defaults(workers=_UNSET, packed=_UNSET) -> dict:
+    """Update the process-wide fit defaults; returns the previous ones.
+
+    ``workers=None`` (the initial default) selects the legacy
+    sequential noise stream; any integer switches fits onto
+    per-view spawned streams (see ``docs/PERFORMANCE.md``).
+    """
+    previous = dict(_DEFAULTS)
+    if workers is not _UNSET:
+        if workers is not None and not isinstance(workers, int):
+            raise ReproError(f"workers must be an int or None, got {workers!r}")
+        _DEFAULTS["workers"] = workers
+    if packed is not _UNSET:
+        _DEFAULTS["packed"] = bool(packed)
+    return previous
+
+
+def fit_defaults() -> dict:
+    """A copy of the current process-wide fit defaults."""
+    return dict(_DEFAULTS)

@@ -14,10 +14,15 @@ Every module in this package uses this convention; helpers in
 attribute sets.
 """
 
+from repro.marginals.attrs import AttrSet, as_attrs
 from repro.marginals.dataset import BinaryDataset
 from repro.marginals.table import MarginalTable
 from repro.marginals.contingency import FullContingencyTable
-from repro.marginals.projection import projection_map, constraint_matrix
+from repro.marginals.projection import (
+    constraint_matrix,
+    projection_index,
+    projection_map,
+)
 from repro.marginals.queries import (
     all_attribute_subsets,
     consecutive_attribute_sets,
@@ -31,10 +36,13 @@ from repro.marginals.analysis_queries import (
 )
 
 __all__ = [
+    "AttrSet",
+    "as_attrs",
     "BinaryDataset",
     "MarginalTable",
     "FullContingencyTable",
     "projection_map",
+    "projection_index",
     "constraint_matrix",
     "all_attribute_subsets",
     "consecutive_attribute_sets",

@@ -13,7 +13,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import DimensionError
-from repro.marginals.table import MarginalTable, _as_sorted_attrs
+from repro.marginals.attrs import AttrSet
+from repro.marginals.table import MarginalTable
 
 
 def _assignment_cell(attrs: tuple[int, ...], assignment: dict[int, int]) -> int:
@@ -34,7 +35,7 @@ def count_where(table: MarginalTable, assignment: dict[int, int]) -> float:
     ``assignment`` maps attribute index -> 0/1; attributes of the table
     not mentioned are summed over.  Attributes outside the table raise.
     """
-    fixed = _as_sorted_attrs(assignment.keys())
+    fixed = AttrSet(assignment.keys())
     projected = table.project(fixed)
     return float(projected.counts[_assignment_cell(projected.attrs, assignment)])
 

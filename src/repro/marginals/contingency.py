@@ -13,7 +13,8 @@ import numpy as np
 from repro.exceptions import DimensionError
 from repro.marginals.dataset import BinaryDataset
 from repro.marginals.projection import projection_map
-from repro.marginals.table import MarginalTable, _as_sorted_attrs
+from repro.marginals.attrs import AttrSet
+from repro.marginals.table import MarginalTable
 
 #: Refuse to materialise tables beyond this many dimensions.  2**24
 #: doubles is 128 MiB; anything larger defeats the point of PriView.
@@ -62,7 +63,7 @@ class FullContingencyTable:
 
     def marginal(self, attrs) -> MarginalTable:
         """The marginal over ``attrs`` obtained by summing cells."""
-        attrs = _as_sorted_attrs(attrs)
+        attrs = AttrSet(attrs)
         if attrs and attrs[-1] >= self.num_attributes:
             raise DimensionError(
                 f"attribute {attrs[-1]} out of range (d={self.num_attributes})"

@@ -12,7 +12,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import DimensionError
-from repro.marginals.table import MarginalTable, _as_sorted_attrs
+from repro.marginals.attrs import AttrSet
+from repro.marginals.table import MarginalTable
 
 
 class BinaryDataset:
@@ -34,6 +35,7 @@ class BinaryDataset:
             raise DimensionError("data must contain only 0/1 values")
         self._data = arr
         self.name = name
+        self._packed = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -48,15 +50,22 @@ class BinaryDataset:
         how the paper's preprocessing keeps only the top pages /
         categories.
         """
-        rows = []
+        lengths = []
+        flat: list[int] = []
         for txn in transactions:
-            row = np.zeros(num_attributes, dtype=np.uint8)
-            for item in txn:
-                if 0 <= item < num_attributes:
-                    row[item] = 1
-            rows.append(row)
-        data = np.vstack(rows) if rows else np.zeros((0, num_attributes), np.uint8)
-        return cls(data, name=name)
+            items = list(txn)
+            lengths.append(len(items))
+            flat.extend(items)
+        data = np.zeros((len(lengths), num_attributes), dtype=np.int64)
+        if flat:
+            items_arr = np.asarray(flat, dtype=np.int64)
+            rows = np.repeat(np.arange(len(lengths)), lengths)
+            keep = (items_arr >= 0) & (items_arr < num_attributes)
+            # Scatter-add, then clamp: an item repeated inside one
+            # transaction still yields a single 1 in that row.
+            np.add.at(data, (rows[keep], items_arr[keep]), 1)
+            np.minimum(data, 1, out=data)
+        return cls(data.astype(np.uint8), name=name)
 
     @classmethod
     def random(
@@ -106,7 +115,7 @@ class BinaryDataset:
     # ------------------------------------------------------------------
     def cell_index(self, attrs) -> np.ndarray:
         """Per-record cell index within the marginal over ``attrs``."""
-        attrs = _as_sorted_attrs(attrs)
+        attrs = AttrSet(attrs)
         if attrs and attrs[-1] >= self.num_attributes:
             raise DimensionError(
                 f"attribute {attrs[-1]} out of range (d={self.num_attributes})"
@@ -116,7 +125,7 @@ class BinaryDataset:
 
     def marginal(self, attrs) -> MarginalTable:
         """The exact (non-private) marginal table over ``attrs``."""
-        attrs = _as_sorted_attrs(attrs)
+        attrs = AttrSet(attrs)
         idx = self.cell_index(attrs)
         counts = np.bincount(idx, minlength=1 << len(attrs)).astype(np.float64)
         return MarginalTable(attrs, counts)
@@ -130,3 +139,27 @@ class BinaryDataset:
         if self.num_records == 0:
             return np.zeros(self.num_attributes)
         return self._data.mean(axis=0)
+
+    # ------------------------------------------------------------------
+    # Bit-sliced acceleration
+    # ------------------------------------------------------------------
+    def packed(self, chunk_words: int | None = None):
+        """This dataset as a :class:`repro.kernels.PackedDataset`.
+
+        The packed form is built once and cached (the raw matrix is
+        immutable from the outside), so repeated packed fits and
+        benchmarks don't re-pack.  Its ``marginal`` is bitwise
+        identical to :meth:`marginal`, typically ~10x faster.
+        """
+        from repro.kernels.packed import PackedDataset
+
+        if self._packed is None:
+            self._packed = PackedDataset.from_dataset(self)
+        if chunk_words is not None and chunk_words != self._packed.chunk_words:
+            self._packed = PackedDataset(
+                self._packed.words,
+                self.num_records,
+                name=self.name,
+                chunk_words=chunk_words,
+            )
+        return self._packed

@@ -5,6 +5,13 @@ attributes and a sub-table over a subset of those attributes, the map
 sends each of the ``2**m`` parent cells to the sub-table cell it
 contributes to.  Projection is then a weighted bincount over this map,
 and the consistency update of Section 4.4 is a gather through it.
+
+Every helper here is memoised: the same subset→index maps recur
+constantly across consistency passes, Ripple, the reconstruction
+constraint builders and the serving engine, so each distinct map is
+built once per process and shared (returned arrays are read-only).
+:mod:`repro.kernels.indexcache` exposes aggregate hit/miss statistics
+over these caches.
 """
 
 from __future__ import annotations
@@ -49,6 +56,7 @@ def projection_map(m: int, positions: tuple[int, ...]) -> np.ndarray:
     return out
 
 
+@functools.lru_cache(maxsize=8192)
 def subset_positions(attrs: tuple[int, ...], sub: tuple[int, ...]) -> tuple[int, ...]:
     """Positions of ``sub``'s attributes inside the sorted tuple ``attrs``.
 
@@ -62,6 +70,22 @@ def subset_positions(attrs: tuple[int, ...], sub: tuple[int, ...]) -> tuple[int,
         raise DimensionError(f"{sub} is not a subset of {attrs}") from exc
 
 
+@functools.lru_cache(maxsize=8192)
+def projection_index(
+    attrs: tuple[int, ...], sub: tuple[int, ...]
+) -> tuple[tuple[int, ...], np.ndarray]:
+    """One-stop cached ``(positions, projection map)`` for a subset pair.
+
+    The common lookup on the table/consistency/serving hot paths:
+    resolving ``sub`` inside ``attrs`` and building the cell map used by
+    projections and consistency updates, in a single cache probe keyed
+    on the *attribute* tuples (not bit positions).
+    """
+    positions = subset_positions(tuple(attrs), tuple(sub))
+    return positions, projection_map(len(attrs), positions)
+
+
+@functools.lru_cache(maxsize=1024)
 def constraint_matrix(k: int, positions: tuple[int, ...]) -> np.ndarray:
     """Dense 0/1 matrix expressing a sub-marginal as sums of parent cells.
 
@@ -69,21 +93,27 @@ def constraint_matrix(k: int, positions: tuple[int, ...]) -> np.ndarray:
     1 in column ``i`` exactly when parent cell ``i`` projects to
     sub-table cell ``r``.  Used by the LP and least-squares
     reconstruction solvers, which need explicit linear constraints.
+    The returned matrix is cached and read-only; callers that need to
+    mutate must copy.
     """
     pmap = projection_map(k, positions)
     rows = 1 << len(positions)
     mat = np.zeros((rows, 1 << k), dtype=np.float64)
     mat[pmap, np.arange(1 << k)] = 1.0
+    mat.setflags(write=False)
     return mat
 
 
+@functools.lru_cache(maxsize=128)
 def cell_neighbours(m: int) -> np.ndarray:
     """Hamming-distance-1 neighbours of every cell of an ``m``-way table.
 
-    Returns an ``(2**m, m)`` int64 array whose row ``i`` lists the cells
-    obtained from ``i`` by flipping each of the ``m`` bits.  Used by the
-    Ripple non-negativity procedure (Section 4.4).
+    Returns a read-only ``(2**m, m)`` int64 array whose row ``i`` lists
+    the cells obtained from ``i`` by flipping each of the ``m`` bits.
+    Used by the Ripple non-negativity procedure (Section 4.4).
     """
     cells = np.arange(1 << m, dtype=np.int64)[:, None]
     flips = np.int64(1) << np.arange(m, dtype=np.int64)[None, :]
-    return cells ^ flips
+    out = cells ^ flips
+    out.setflags(write=False)
+    return out

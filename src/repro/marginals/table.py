@@ -12,19 +12,27 @@ possibly negative) real count per assignment of the attributes in
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.exceptions import DimensionError
-from repro.marginals.projection import projection_map, subset_positions
+from repro.marginals.attrs import AttrSet
+from repro.marginals.projection import projection_index
 
 
-def _as_sorted_attrs(attrs) -> tuple[int, ...]:
-    out = tuple(sorted(int(a) for a in attrs))
-    if len(set(out)) != len(out):
-        raise DimensionError(f"attribute set {attrs} contains duplicates")
-    return out
+def __getattr__(name: str):
+    # Deprecated pre-1.1 entry point; AttrSet is the public canonicalizer.
+    if name == "_as_sorted_attrs":
+        warnings.warn(
+            "repro.marginals.table._as_sorted_attrs is deprecated; "
+            "use repro.marginals.attrs.AttrSet instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return AttrSet
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass
@@ -49,7 +57,7 @@ class MarginalTable:
     meta: dict = field(default_factory=dict, repr=False, compare=False)
 
     def __post_init__(self) -> None:
-        self.attrs = _as_sorted_attrs(self.attrs)
+        self.attrs = AttrSet(self.attrs)
         counts = np.asarray(self.counts, dtype=np.float64)
         if counts.shape != (1 << len(self.attrs),):
             raise DimensionError(
@@ -64,13 +72,13 @@ class MarginalTable:
     @classmethod
     def zeros(cls, attrs) -> "MarginalTable":
         """An all-zero table over ``attrs``."""
-        attrs = _as_sorted_attrs(attrs)
+        attrs = AttrSet(attrs)
         return cls(attrs, np.zeros(1 << len(attrs)))
 
     @classmethod
     def uniform(cls, attrs, total: float) -> "MarginalTable":
         """A uniform table over ``attrs`` whose cells sum to ``total``."""
-        attrs = _as_sorted_attrs(attrs)
+        attrs = AttrSet(attrs)
         size = 1 << len(attrs)
         return cls(attrs, np.full(size, total / size))
 
@@ -104,9 +112,8 @@ class MarginalTable:
         ``sub_attrs`` must be a subset of :attr:`attrs`.  Projecting
         onto the empty tuple yields a 1-cell table holding the total.
         """
-        sub = _as_sorted_attrs(sub_attrs)
-        positions = subset_positions(self.attrs, sub)
-        pmap = projection_map(self.arity, positions)
+        sub = AttrSet(sub_attrs)
+        _, pmap = projection_index(self.attrs, sub)
         counts = np.bincount(pmap, weights=self.counts, minlength=1 << len(sub))
         return MarginalTable(sub, counts)
 
@@ -119,8 +126,7 @@ class MarginalTable:
         ``self`` onto any attribute set disjoint from ``A`` is
         unchanged (Lemma 1).
         """
-        positions = subset_positions(self.attrs, target.attrs)
-        pmap = projection_map(self.arity, positions)
+        _, pmap = projection_index(self.attrs, target.attrs)
         current = np.bincount(pmap, weights=self.counts, minlength=target.size)
         delta = (target.counts - current) / float(1 << (self.arity - target.arity))
         self.counts += delta[pmap]

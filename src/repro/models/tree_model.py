@@ -17,7 +17,8 @@ import numpy as np
 
 from repro.core.synopsis import PriViewSynopsis
 from repro.exceptions import ReconstructionError
-from repro.marginals.table import MarginalTable, _as_sorted_attrs
+from repro.marginals.attrs import AttrSet
+from repro.marginals.table import MarginalTable
 from repro.models.chow_liu import chow_liu_tree
 from repro.models.factors import Factor
 
@@ -96,7 +97,7 @@ class TreeModel:
 
     def marginal(self, attrs) -> MarginalTable:
         """The model's marginal over ``attrs``, scaled to the total."""
-        target = _as_sorted_attrs(attrs)
+        target = AttrSet(attrs)
         if any(a not in self.tree.nodes for a in target):
             raise ReconstructionError(
                 f"attributes {target} not all present in the model"

@@ -13,15 +13,23 @@ artifact into a query-serving engine (see ``docs/SERVING.md``):
   protocol over HTTP (``POST /v1/marginal``, ``POST /v1/batch``,
   ``GET /healthz``, ``GET /stats``).
 
+The engine hosts *any* :class:`~repro.baselines.base.MarginalSource`
+— a synopsis gets full covered/derived/solved planning; a fitted
+baseline mechanism answers misses through its own ``marginal`` while
+keeping the cache, batching and stats.
+
 Quick tour::
 
-    from repro.serve import QueryEngine, serve_synopsis
+    from repro.serve import QueryEngine, serve_source
 
     engine = QueryEngine(synopsis, attach=True)
     synopsis.marginal((0, 3, 5))        # planned + cached from now on
 
-    with serve_synopsis("synopsis.npz", port=0) as server:
+    with serve_source("synopsis.npz", port=0) as server:
         print(server.url)               # e.g. http://127.0.0.1:49152
+
+(``serve_synopsis`` remains as a deprecated alias of
+:func:`serve_source`.)
 """
 
 from repro.serve.cache import SingleFlightLRU
@@ -46,6 +54,7 @@ from repro.serve.server import (
     DEFAULT_PORT,
     DEFAULT_REQUEST_TIMEOUT,
     MarginalServer,
+    serve_source,
     serve_synopsis,
 )
 
@@ -67,5 +76,6 @@ __all__ = [
     "QueryPlan",
     "QueryPlanner",
     "SingleFlightLRU",
+    "serve_source",
     "serve_synopsis",
 ]

@@ -1,7 +1,9 @@
 """The query-serving engine: planner + single-flight cache + pool.
 
-One :class:`QueryEngine` wraps one fitted (or loaded) synopsis and
-answers marginal queries concurrently:
+One :class:`QueryEngine` wraps one marginal source — typically a
+fitted (or loaded) synopsis, but any
+:class:`~repro.baselines.base.MarginalSource` works — and answers
+marginal queries concurrently:
 
 * each request is planned (covered / derived / solved), executed, and
   cached under ``(attrs, method)``;
@@ -27,6 +29,7 @@ from time import perf_counter
 from repro import obs
 from repro.core.reconstruction import RECONSTRUCTION_METHODS, reconstruct
 from repro.exceptions import QueryError, QueryTimeoutError, ReproError
+from repro.kernels import indexcache
 from repro.marginals.table import MarginalTable
 from repro.serve.planner import (
     PATH_COVERED,
@@ -70,13 +73,20 @@ class QueryAnswer:
 
 
 class QueryEngine:
-    """Concurrent marginal answering on top of one synopsis.
+    """Concurrent marginal answering on top of one marginal source.
 
     Parameters
     ----------
-    synopsis:
-        A :class:`~repro.core.synopsis.PriViewSynopsis` (fitted or
-        loaded via :func:`~repro.core.serialization.load_synopsis`).
+    source:
+        Any :class:`~repro.baselines.base.MarginalSource` exposing
+        ``marginal(attrs)`` and ``num_attributes``.  A
+        :class:`~repro.core.synopsis.PriViewSynopsis` (fitted or
+        loaded via :func:`~repro.core.serialization.load_synopsis`)
+        additionally exposes ``views`` and gets the full planner —
+        covered / derived / solved.  A viewless source (a fitted
+        baseline mechanism, say) answers every cache miss through its
+        own ``marginal``; planning degenerates to *solved* but the
+        single-flight cache, batching and stats still apply.
     cache_size / workers:
         Answer-cache capacity and thread-pool width.
     default_method:
@@ -85,14 +95,15 @@ class QueryEngine:
         Disable to force uncovered queries through the solver even
         when a cached superset could be projected.
     attach:
-        When True, register this engine on the synopsis so that
+        When True, register this engine on the source (if it supports
+        ``attach_engine``, as the synopsis does) so that
         ``synopsis.marginal(...)`` / ``marginals(...)`` route through
         it (and therefore through the cache).
     """
 
     def __init__(
         self,
-        synopsis,
+        source,
         cache_size: int = DEFAULT_CACHE_SIZE,
         workers: int = DEFAULT_WORKERS,
         default_method: str = "maxent",
@@ -104,26 +115,35 @@ class QueryEngine:
                 f"unknown reconstruction method {default_method!r}; "
                 f"choose from {RECONSTRUCTION_METHODS}"
             )
-        self.synopsis = synopsis
+        self.source = source
         self.default_method = default_method
         self.derive_from_cache = derive_from_cache
-        self._planner = QueryPlanner(synopsis.views, synopsis.num_attributes)
+        self._views: list[MarginalTable] = list(getattr(source, "views", ()) or ())
+        self._planner = QueryPlanner(self._views, source.num_attributes)
         self._cache = SingleFlightLRU(cache_size)
         self._pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-serve"
         )
-        self._total = synopsis.total_count()
+        total_count = getattr(source, "total_count", None)
+        self._total = float(total_count()) if callable(total_count) else None
         # First view wins on (hypothetical) duplicate blocks, matching
         # covering_view's first-match rule so plans resolve bitwise
         # identically to reconstruct()'s own covered path.
         self._view_by_attrs: dict[tuple[int, ...], MarginalTable] = {}
-        for view in synopsis.views:
+        for view in self._views:
             self._view_by_attrs.setdefault(view.attrs, view)
         self._stats_lock = threading.Lock()
         self._requests = 0
         self._paths = {p: 0 for p in (PATH_COVERED, PATH_DERIVED, PATH_SOLVED, PATH_ERROR)}
         if attach:
-            synopsis.attach_engine(self)
+            attach_engine = getattr(source, "attach_engine", None)
+            if callable(attach_engine):
+                attach_engine(self)
+
+    @property
+    def synopsis(self):
+        """The hosted source (kept for backwards compatibility)."""
+        return self.source
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -268,14 +288,17 @@ class QueryEngine:
                 table = self._view_by_attrs[plan.source].project(target)
             elif plan.path == PATH_DERIVED:
                 table = cached[plan.source].project(target)
-            else:
+            elif self._views:
                 table = reconstruct(
-                    self.synopsis.views,
+                    self._views,
                     target,
                     method=method,
                     use_covering_view=False,
                     total=self._total,
                 )
+            else:
+                # Viewless source: the mechanism answers directly.
+                table = self.source.marginal(target)
         return _CacheEntry(table=table, path=plan.path, source=plan.source)
 
     def _record(self, path: str) -> None:
@@ -294,16 +317,19 @@ class QueryEngine:
         with self._stats_lock:
             requests = self._requests
             paths = dict(self._paths)
+        design = getattr(self.source, "design", None)
         return {
             "requests": requests,
             "paths": paths,
             "cache": self._cache.stats(),
             "default_method": self.default_method,
             "synopsis": {
-                "design": self.synopsis.design.notation,
-                "epsilon": self.synopsis.epsilon,
-                "num_attributes": self.synopsis.num_attributes,
-                "views": self.synopsis.num_views,
+                "name": getattr(self.source, "name", type(self.source).__name__),
+                "design": getattr(design, "notation", None),
+                "epsilon": getattr(self.source, "epsilon", None),
+                "num_attributes": self.source.num_attributes,
+                "views": len(self._views),
                 "total_count": self._total,
             },
+            "kernels": {"index_cache": indexcache.stats()},
         }

@@ -26,7 +26,8 @@ from dataclasses import dataclass
 
 from repro.core.reconstruction import covering_view
 from repro.exceptions import DimensionError, QueryError
-from repro.marginals.table import MarginalTable, _as_sorted_attrs
+from repro.marginals.attrs import AttrSet
+from repro.marginals.table import MarginalTable
 
 #: planner paths, also used as ``/stats`` keys and obs counter suffixes
 PATH_COVERED = "covered"
@@ -71,7 +72,7 @@ class QueryPlanner:
     def validate(self, attrs) -> tuple[int, ...]:
         """Normalise ``attrs`` or raise :class:`QueryError`."""
         try:
-            target = _as_sorted_attrs(attrs)
+            target = AttrSet(attrs)
         except (DimensionError, TypeError, ValueError) as exc:
             raise QueryError(f"bad attribute set {attrs!r}: {exc}") from exc
         if target and not (0 <= target[0] and target[-1] < self._num_attributes):

@@ -34,7 +34,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.serialization import jsonable
-from repro.exceptions import QueryError
+from repro.exceptions import DimensionError, QueryError
+from repro.marginals.attrs import AttrSet
 from repro.marginals.table import MarginalTable
 from repro.serve.engine import QueryAnswer
 
@@ -69,7 +70,7 @@ def encode_error(exc: BaseException) -> dict:
     return {"error": {"type": type(exc).__name__, "message": str(exc)}}
 
 
-def _require_attrs(body: dict) -> list:
+def _require_attrs(body: dict) -> tuple:
     attrs = body.get("attrs")
     if not isinstance(attrs, list) or not all(
         isinstance(a, int) and not isinstance(a, bool) for a in attrs
@@ -78,7 +79,13 @@ def _require_attrs(body: dict) -> list:
             f"'attrs' must be a list of integer attribute indices, "
             f"got {attrs!r}"
         )
-    return attrs
+    try:
+        return AttrSet(attrs)
+    except DimensionError:
+        # Shape/type checks live here; semantic canonicalisation
+        # errors (duplicate attrs, ...) are left to the engine, which
+        # raises them per-request and counts them under the error path.
+        return tuple(attrs)
 
 
 def parse_marginal_request(body) -> tuple[list, str | None]:

@@ -154,13 +154,14 @@ class MarginalServer:
         return f"http://{host}:{port}"
 
     def _health_payload(self) -> dict:
-        synopsis = self.engine.synopsis
+        source = self.engine.source
+        design = getattr(source, "design", None)
         return {
             "status": "ok",
-            "design": synopsis.design.notation,
-            "epsilon": synopsis.epsilon,
-            "num_attributes": synopsis.num_attributes,
-            "views": synopsis.num_views,
+            "design": getattr(design, "notation", None),
+            "epsilon": getattr(source, "epsilon", None),
+            "num_attributes": source.num_attributes,
+            "views": len(getattr(source, "views", ()) or ()),
             "uptime_s": monotonic() - self._started_at,
         }
 
@@ -208,21 +209,41 @@ class MarginalServer:
         return False
 
 
-def serve_synopsis(
-    synopsis_or_path,
+def serve_source(
+    source_or_path,
     host: str = DEFAULT_HOST,
     port: int = DEFAULT_PORT,
     request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
     **engine_kwargs,
 ) -> MarginalServer:
-    """Build an engine for a synopsis (object or saved ``.npz`` path)
-    and wrap it in an unstarted :class:`MarginalServer`."""
-    from repro.core.serialization import load_synopsis
-    from repro.core.synopsis import PriViewSynopsis
+    """Build an engine for any marginal source and wrap it in an
+    unstarted :class:`MarginalServer`.
 
-    if not isinstance(synopsis_or_path, PriViewSynopsis):
-        synopsis_or_path = load_synopsis(synopsis_or_path)
-    engine = QueryEngine(synopsis_or_path, attach=True, **engine_kwargs)
+    ``source_or_path`` is anything satisfying
+    :class:`~repro.baselines.base.MarginalSource` (a synopsis, a
+    fitted baseline mechanism, ...) or a path to a saved synopsis
+    ``.npz``, loaded via
+    :func:`~repro.core.serialization.load_synopsis`.
+    """
+    from repro.core.serialization import load_synopsis
+
+    source = source_or_path
+    if isinstance(source, (str, bytes)) or hasattr(source, "__fspath__"):
+        source = load_synopsis(source)
+    engine = QueryEngine(source, attach=True, **engine_kwargs)
     return MarginalServer(
         engine, host=host, port=port, request_timeout=request_timeout
     )
+
+
+def serve_synopsis(synopsis_or_path, **kwargs) -> MarginalServer:
+    """Deprecated alias for :func:`serve_source`."""
+    import warnings
+
+    warnings.warn(
+        "serve_synopsis is deprecated; use repro.serve.serve_source, "
+        "which hosts any MarginalSource",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return serve_source(synopsis_or_path, **kwargs)

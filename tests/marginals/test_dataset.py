@@ -38,6 +38,31 @@ class TestConstruction:
         ds = BinaryDataset.from_transactions([[0, 7, -2]], num_attributes=3)
         assert np.array_equal(ds.data, [[1, 0, 0]])
 
+    def test_from_transactions_duplicate_items_stay_binary(self):
+        # Regression: an item repeated inside one transaction must
+        # contribute a single 1, not a scatter-added count.
+        ds = BinaryDataset.from_transactions(
+            [[2, 2, 2], [0, 1, 0], []], num_attributes=3
+        )
+        assert np.array_equal(ds.data, [[0, 0, 1], [1, 1, 0], [0, 0, 0]])
+
+    def test_from_transactions_empty_iterable(self):
+        ds = BinaryDataset.from_transactions([], num_attributes=4)
+        assert ds.num_records == 0 and ds.num_attributes == 4
+
+    def test_from_transactions_matches_python_loop(self):
+        rng = np.random.default_rng(0)
+        txns = [
+            list(rng.integers(-2, 8, rng.integers(0, 10))) for _ in range(200)
+        ]
+        expected = np.zeros((len(txns), 6), dtype=np.uint8)
+        for row, txn in enumerate(txns):
+            for item in txn:
+                if 0 <= item < 6:
+                    expected[row, item] = 1
+        ds = BinaryDataset.from_transactions(txns, num_attributes=6)
+        assert np.array_equal(ds.data, expected)
+
     def test_random_density(self, rng):
         ds = BinaryDataset.random(20_000, 4, density=0.25, rng=rng)
         assert abs(ds.data.mean() - 0.25) < 0.02
