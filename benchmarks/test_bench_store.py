@@ -1,0 +1,106 @@
+"""Benchmark the synopsis store: publish, load, and routing overhead.
+
+Emits ``BENCH_store.json`` — wall time for publish (serialize + hash +
+fsync + manifest commit), verified vs. unverified loads, full-store
+``verify``, and the router's cold-build vs. warm-lease path on a d=32
+synopsis — the machine-readable trajectory later storage PRs diff
+against.  The acceptance bar: every load is bitwise identical to the
+published synopsis, the store verifies clean after a burst of
+versions, and re-publishing identical bytes dedups to a single
+content-addressed object.
+"""
+
+import json
+import pathlib
+from time import perf_counter
+
+import numpy as np
+
+from repro.core.priview import PriView
+from repro.covering.repository import best_design
+from repro.experiments.data import experiment_dataset
+from repro.serve import EngineRouter
+from repro.store import SynopsisStore, artifacts
+
+D = 32
+VERSIONS = 4
+
+
+def _timed(fn):
+    start = perf_counter()
+    result = fn()
+    return perf_counter() - start, result
+
+
+def test_bench_store_export(scale, tmp_path):
+    dataset = experiment_dataset("kosarak", scale)
+    design = best_design(D, 8, 2)
+    synopses = [
+        PriView(1.0, design=design, seed=seed).fit(dataset)
+        for seed in range(VERSIONS)
+    ]
+
+    store = SynopsisStore(tmp_path / "registry")
+    publish_s = []
+    for synopsis in synopses:
+        seconds, _ = _timed(lambda s=synopsis: store.publish("kosarak", s))
+        publish_s.append(seconds)
+
+    # -- dedup: identical bytes re-published => same object, new version
+    objects_before = len(list(artifacts.iter_objects(store.objects_dir)))
+    again = store.publish("kosarak", synopses[-1])
+    assert again.version == VERSIONS + 1
+    assert (
+        len(list(artifacts.iter_objects(store.objects_dir))) == objects_before
+    )
+    info = store.resolve("kosarak@latest")
+    size_mb = info.size_bytes / 2**20
+
+    verified_s, loaded = _timed(lambda: store.get("kosarak@latest"))
+    unverified_s, _ = _timed(
+        lambda: store.get("kosarak@latest", verify=False)
+    )
+    for mine, published in zip(loaded.views, synopses[-1].views):
+        assert mine.attrs == published.attrs
+        assert np.array_equal(mine.counts, published.counts)
+
+    verify_s, report = _timed(store.verify)
+    assert report["clean"], report
+
+    with EngineRouter(store) as router:
+        cold_s, _ = _timed(lambda: router.lease("kosarak").__exit__(
+            None, None, None
+        ))
+        warm = []
+        for _ in range(50):
+            seconds, lease = _timed(lambda: router.lease("kosarak"))
+            lease.__exit__(None, None, None)
+            warm.append(seconds)
+
+    payload = {
+        "benchmark": f"store_kosarak_{design.notation}",
+        "scale": scale.name,
+        "artifact": {
+            "versions": VERSIONS + 1,
+            "objects": objects_before,
+            "size_mb": size_mb,
+            "num_views": info.num_views,
+        },
+        "publish": {
+            "mean_s": sum(publish_s) / len(publish_s),
+            "max_s": max(publish_s),
+        },
+        "load": {
+            "verified_s": verified_s,
+            "unverified_s": unverified_s,
+            "verify_overhead": verified_s / unverified_s,
+        },
+        "verify_store_s": verify_s,
+        "router": {
+            "cold_build_s": cold_s,
+            "warm_lease_mean_us": 1e6 * sum(warm) / len(warm),
+            "warm_lease_max_us": 1e6 * max(warm),
+        },
+    }
+    out = pathlib.Path(__file__).resolve().parent.parent / "BENCH_store.json"
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

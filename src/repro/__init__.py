@@ -46,7 +46,11 @@ Package map
 ``repro.kernels``
     Bit-sliced marginal kernels and the deterministic parallel fit.
 ``repro.serve``
-    Concurrent query serving over any fitted marginal source.
+    Concurrent query serving over any fitted marginal source, or a
+    whole synopsis store (per-dataset routes, zero-drop hot swap).
+``repro.store``
+    Versioned, multi-tenant synopsis registry: content-addressed
+    artifacts, atomic publish, integrity checks (``docs/STORE.md``).
 ``repro.obs``
     Tracing spans, pipeline counters, and the privacy-budget ledger
     (see ``docs/OBSERVABILITY.md``); inert unless a session is active.

@@ -11,6 +11,9 @@ Examples::
     python -m repro serve --synopsis synopsis.npz --port 8177
     python -m repro query 0,3,5 1,9 --synopsis synopsis.npz
     python -m repro query 0,3,5 --url http://127.0.0.1:8177
+    python -m repro store publish --store synopses/ adult synopsis.npz
+    python -m repro store ls --store synopses/
+    python -m repro store serve --store synopses/ --watch
 
 ``--trace`` prints, after each experiment's report, a nested
 stage-timing tree, the pipeline counters, and a privacy-budget ledger
@@ -20,7 +23,9 @@ a failing experiment, logs the failure, and exits non-zero at the end.
 
 ``serve`` exposes a saved synopsis over HTTP (``docs/SERVING.md``);
 ``query`` answers marginal queries against a saved synopsis file or a
-running server.
+running server; ``store`` manages a versioned synopsis registry —
+publish, list, inspect, verify, garbage-collect, and serve every
+published dataset from one process (``docs/STORE.md``).
 """
 
 from __future__ import annotations
@@ -137,6 +142,97 @@ def build_parser() -> argparse.ArgumentParser:
         "--log-level", choices=LEVELS, default=None,
         help="logging verbosity on stderr (default: warning)",
     )
+
+    store_parser = sub.add_parser(
+        "store", help="manage a versioned synopsis registry"
+    )
+    store_sub = store_parser.add_subparsers(dest="store_command", required=True)
+
+    def store_dir(p):
+        p.add_argument(
+            "--store", required=True, metavar="DIR",
+            help="store root directory (created by publish if missing)",
+        )
+        p.add_argument(
+            "--log-level", choices=LEVELS, default=None,
+            help="logging verbosity on stderr (default: warning)",
+        )
+        return p
+
+    publish = store_dir(store_sub.add_parser(
+        "publish", help="publish a saved synopsis as the next version"
+    ))
+    publish.add_argument("name", help="dataset name (no '@')")
+    publish.add_argument(
+        "synopsis", metavar="PATH",
+        help="synopsis .npz written by save_synopsis",
+    )
+    publish.add_argument(
+        "--created-at", default=None, metavar="ISO8601",
+        help="caller-supplied creation timestamp (default: now, UTC)",
+    )
+    publish.add_argument(
+        "--fit-seconds", type=float, default=None,
+        help="fit wall-time to record in the version metadata",
+    )
+
+    store_dir(store_sub.add_parser(
+        "ls", help="list published datasets and versions"
+    ))
+
+    info = store_dir(store_sub.add_parser(
+        "info", help="describe one dataset (or name@version)"
+    ))
+    info.add_argument("spec", help="name, name@latest or name@N")
+
+    verify = store_dir(store_sub.add_parser(
+        "verify", help="checksum every referenced artifact"
+    ))
+    verify.add_argument(
+        "--quarantine", action="store_true",
+        help="move corrupt artifacts to quarantine/ instead of only reporting",
+    )
+
+    gc = store_dir(store_sub.add_parser(
+        "gc", help="sweep unreferenced objects and stale temp files"
+    ))
+    gc.add_argument(
+        "--tmp-age", type=float, default=None, metavar="SECONDS",
+        help="minimum age before a .tmp-* leftover is swept (default 3600)",
+    )
+
+    store_serve = store_dir(store_sub.add_parser(
+        "serve", help="serve every published dataset over HTTP"
+    ))
+    store_serve.add_argument("--host", default=None, help="bind address")
+    store_serve.add_argument(
+        "--port", type=int, default=None, help="bind port (0 = ephemeral)"
+    )
+    store_serve.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-request deadline in seconds (504 past it)",
+    )
+    store_serve.add_argument(
+        "--max-engines", type=int, default=None,
+        help="datasets kept hot at once (LRU beyond this)",
+    )
+    store_serve.add_argument(
+        "--watch", action="store_true",
+        help="hot-swap newly published versions automatically "
+        "(poll the manifest mtime; /v1/reload also works)",
+    )
+    store_serve.add_argument(
+        "--cache-size", type=int, default=None,
+        help="per-engine answer-cache capacity",
+    )
+    store_serve.add_argument(
+        "--workers", type=int, default=None,
+        help="per-engine thread-pool width",
+    )
+    store_serve.add_argument(
+        "--method", default=None,
+        help="default reconstruction method (maxent)",
+    )
     return parser
 
 
@@ -231,6 +327,96 @@ def _cmd_query(args) -> int:
     return 0
 
 
+def _cmd_store(args) -> int:
+    import json as _json
+
+    from repro.store import SynopsisStore
+
+    if args.store_command == "publish":
+        store = SynopsisStore(args.store)
+        info = store.publish(
+            args.name,
+            args.synopsis,
+            created_at=args.created_at,
+            fit_seconds=args.fit_seconds,
+        )
+        print(
+            f"published {info.spec}  sha256={info.sha256[:12]}…  "
+            f"{info.size_bytes} bytes  (epsilon={info.epsilon}, "
+            f"d={info.num_attributes}, design={info.design})"
+        )
+        return 0
+
+    store = SynopsisStore(args.store, create=False)
+    if args.store_command == "ls":
+        entries = store.entries()
+        if not entries:
+            print("(empty store)")
+        for entry in entries:
+            default = entry.default
+            pin = f"  pinned@{entry.pinned}" if entry.pinned is not None else ""
+            print(
+                f"{entry.name:24s} {len(entry.versions)} version(s), "
+                f"serving v{default.version} "
+                f"(epsilon={default.epsilon}, d={default.num_attributes}, "
+                f"design={default.design}){pin}"
+            )
+        stats = store.stats()
+        print(
+            f"total: {stats['datasets']} dataset(s), {stats['entries']} "
+            f"version(s), {stats['bytes']} bytes"
+        )
+        return 0
+    if args.store_command == "info":
+        print(_json.dumps(store.info(args.spec), indent=2, sort_keys=True))
+        return 0
+    if args.store_command == "verify":
+        report = store.verify(quarantine=args.quarantine)
+        print(_json.dumps(report, indent=2, sort_keys=True))
+        return 0 if report["clean"] else 1
+    if args.store_command == "gc":
+        kwargs = {} if args.tmp_age is None else {"tmp_age_s": args.tmp_age}
+        print(_json.dumps(store.gc(**kwargs), indent=2, sort_keys=True))
+        return 0
+
+    # store serve
+    from repro.serve import server as serve_server
+    from repro.serve.server import serve_store
+
+    log = get_logger("cli")
+    engine_kwargs = {}
+    if args.cache_size is not None:
+        engine_kwargs["cache_size"] = args.cache_size
+    if args.workers is not None:
+        engine_kwargs["workers"] = args.workers
+    if args.method is not None:
+        engine_kwargs["default_method"] = args.method
+    server = serve_store(
+        store,
+        host=args.host if args.host is not None else serve_server.DEFAULT_HOST,
+        port=args.port if args.port is not None else serve_server.DEFAULT_PORT,
+        request_timeout=(
+            args.timeout if args.timeout is not None
+            else serve_server.DEFAULT_REQUEST_TIMEOUT
+        ),
+        max_engines=args.max_engines,
+        watch=args.watch,
+        **engine_kwargs,
+    )
+    stats = store.stats()
+    print(
+        f"serving store {stats['root']} ({stats['datasets']} dataset(s), "
+        f"{stats['entries']} version(s)) on {server.url}"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        log.info("interrupted; shutting down")
+    finally:
+        server.shutdown()
+    return 0
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -243,6 +429,8 @@ def main(argv=None) -> int:
         return _cmd_serve(args)
     if args.command == "query":
         return _cmd_query(args)
+    if args.command == "store":
+        return _cmd_store(args)
     log = get_logger("cli")
     kernel_defaults = {}
     if args.workers is not None:

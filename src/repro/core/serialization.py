@@ -3,23 +3,54 @@
 The synopsis *is* the published artifact: once written to disk it can
 be shipped to analysts, who reconstruct marginals without any access
 to the private data (or to this library's fitting code paths).
+
+Integrity
+---------
+``save_synopsis`` records a sha256 digest of the payload (every view's
+attribute set and counts) in the header; ``load_synopsis`` recomputes
+and compares it, raising :class:`~repro.exceptions.SynopsisIntegrityError`
+on mismatch — so a flipped bit anywhere in the arrays is caught even
+for loose ``.npz`` files outside the :mod:`repro.store` registry (which
+additionally checksums whole files).  Undecodable files (truncation,
+zip/zlib corruption) surface as the same typed error instead of a
+``BadZipFile``/``KeyError`` deep in parsing.
+
+Compatibility
+-------------
+``format_version`` is bumped on changes to the on-disk layout; the
+loader accepts every version up to :data:`FORMAT_VERSION` (fields
+added later simply default) and raises a clear
+:class:`~repro.exceptions.SynopsisFormatError` for files written by a
+*newer* library version.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import pathlib
+import zipfile
+import zlib
 
 import numpy as np
 
 from repro.core.synopsis import PriViewSynopsis
 from repro.covering.design import CoveringDesign
-from repro.exceptions import DatasetError
+from repro.exceptions import (
+    DatasetError,
+    ReproError,
+    SynopsisFormatError,
+    SynopsisIntegrityError,
+)
 from repro.marginals.table import MarginalTable
 
-#: bumped on breaking changes to the on-disk layout
-FORMAT_VERSION = 1
+#: bumped on changes to the on-disk layout; the loader reads any
+#: version up to this one (v1 files simply lack ``payload_sha256``)
+FORMAT_VERSION = 2
+
+#: oldest version the loader still understands
+MIN_FORMAT_VERSION = 1
 
 
 def jsonable(obj):
@@ -43,6 +74,22 @@ def jsonable(obj):
     return str(obj)
 
 
+def payload_digest(views) -> str:
+    """sha256 over every view's attribute set and counts, in order.
+
+    This is the digest ``save_synopsis`` records and ``load_synopsis``
+    verifies; it is independent of zip container details, so the same
+    views always hash the same regardless of compression.
+    """
+    digest = hashlib.sha256()
+    for view in views:
+        digest.update(repr(tuple(int(a) for a in view.attrs)).encode())
+        digest.update(
+            np.ascontiguousarray(view.counts, dtype=np.float64).tobytes()
+        )
+    return digest.hexdigest()
+
+
 def save_synopsis(
     synopsis: PriViewSynopsis, path: str | os.PathLike
 ) -> pathlib.Path:
@@ -57,6 +104,7 @@ def save_synopsis(
         "view_attrs": [list(v.attrs) for v in synopsis.views],
         "view_meta": [jsonable(v.meta) for v in synopsis.views],
         "metadata": jsonable(synopsis.metadata),
+        "payload_sha256": payload_digest(synopsis.views),
     }
     arrays = {
         f"view_{i}": view.counts for i, view in enumerate(synopsis.views)
@@ -67,32 +115,83 @@ def save_synopsis(
     )
 
 
-def load_synopsis(path: str | os.PathLike) -> PriViewSynopsis:
-    """Load a synopsis written by :func:`save_synopsis`."""
+def _check_format_version(header: dict, path: pathlib.Path) -> int:
+    version = header.get("format_version")
+    if not isinstance(version, int):
+        raise SynopsisIntegrityError(
+            f"corrupt synopsis {path}: missing/invalid format_version "
+            f"{version!r}"
+        )
+    if version > FORMAT_VERSION:
+        raise SynopsisFormatError(
+            f"synopsis {path} uses format_version {version}, but this "
+            f"library reads at most {FORMAT_VERSION} — it was written "
+            "by a newer repro release; upgrade to load it"
+        )
+    if version < MIN_FORMAT_VERSION:
+        raise SynopsisFormatError(
+            f"synopsis {path} uses retired format_version {version} "
+            f"(oldest supported: {MIN_FORMAT_VERSION})"
+        )
+    return version
+
+
+def load_synopsis(
+    path: str | os.PathLike, verify: bool = True
+) -> PriViewSynopsis:
+    """Load a synopsis written by :func:`save_synopsis`.
+
+    Raises :class:`~repro.exceptions.SynopsisFormatError` for files
+    from a newer library, and
+    :class:`~repro.exceptions.SynopsisIntegrityError` when the file
+    does not decode or (with ``verify``, the default) the recorded
+    payload sha256 does not match the arrays read back.
+    """
     path = pathlib.Path(path)
     if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
         path = path.with_suffix(path.suffix + ".npz")
     if not path.exists():
         raise DatasetError(f"missing synopsis file {path}")
-    with np.load(path, allow_pickle=False) as archive:
-        header = json.loads(str(archive["header"]))
-        if header.get("format_version") != FORMAT_VERSION:
-            raise DatasetError(
-                f"unsupported synopsis format {header.get('format_version')}"
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            header = json.loads(str(archive["header"]))
+            _check_format_version(header, path)
+            # view_meta is absent in files written before it existed:
+            # default to empty dicts so those synopses still load.
+            metas = header.get("view_meta") or [{}] * len(header["view_attrs"])
+            views = [
+                MarginalTable(tuple(attrs), archive[f"view_{i}"], dict(meta))
+                for i, (attrs, meta) in enumerate(
+                    zip(header["view_attrs"], metas)
+                )
+            ]
+        synopsis = PriViewSynopsis(
+            design=CoveringDesign.from_text(header["design"]),
+            views=views,
+            epsilon=float(header["epsilon"]),
+            num_attributes=int(header["num_attributes"]),
+            metadata=header.get("metadata", {}),
+        )
+    except ReproError:
+        raise
+    except (
+        zipfile.BadZipFile,
+        zlib.error,
+        json.JSONDecodeError,
+        KeyError,
+        ValueError,
+        OSError,
+        EOFError,
+    ) as exc:
+        raise SynopsisIntegrityError(
+            f"corrupt synopsis {path}: {type(exc).__name__}: {exc}"
+        ) from exc
+    expected = header.get("payload_sha256")
+    if verify and expected is not None:
+        actual = payload_digest(synopsis.views)
+        if actual != expected:
+            raise SynopsisIntegrityError(
+                f"synopsis {path} failed its integrity check: payload "
+                f"sha256 {actual} != recorded {expected}"
             )
-        # view_meta is absent in files written before it existed:
-        # default to empty dicts so those synopses still load.
-        metas = header.get("view_meta") or [{}] * len(header["view_attrs"])
-        views = [
-            MarginalTable(tuple(attrs), archive[f"view_{i}"], dict(meta))
-            for i, (attrs, meta) in enumerate(
-                zip(header["view_attrs"], metas)
-            )
-        ]
-    return PriViewSynopsis(
-        design=CoveringDesign.from_text(header["design"]),
-        views=views,
-        epsilon=float(header["epsilon"]),
-        num_attributes=int(header["num_attributes"]),
-        metadata=header.get("metadata", {}),
-    )
+    return synopsis

@@ -31,6 +31,28 @@ class DatasetError(ReproError):
     """A dataset file is missing or malformed."""
 
 
+class SynopsisFormatError(DatasetError):
+    """A synopsis file uses an on-disk format this library cannot read.
+
+    Raised in particular for *forward* incompatibility: a file written
+    by a newer library version than the one loading it.
+    """
+
+
+class SynopsisIntegrityError(DatasetError):
+    """A synopsis artifact failed an integrity check.
+
+    The file exists but its bytes do not decode, or a recorded sha256
+    digest does not match the payload — the artifact is corrupt and
+    must not be served.
+    """
+
+
+class StoreError(ReproError):
+    """A synopsis-store operation failed (unknown entry, bad spec,
+    lock timeout, ...)."""
+
+
 class LedgerError(ReproError):
     """A privacy-budget ledger audit failed or the ledger was misused."""
 

@@ -18,15 +18,23 @@ The engine hosts *any* :class:`~repro.baselines.base.MarginalSource`
 baseline mechanism answers misses through its own ``marginal`` while
 keeping the cache, batching and stats.
 
+A whole :class:`~repro.store.SynopsisStore` is hosted by one server
+through :class:`EngineRouter` — per-dataset engines built lazily with
+LRU eviction, ``POST /v1/d/{name}/marginal``, and zero-drop hot swap
+of newly published versions (``docs/STORE.md``).
+
 Quick tour::
 
-    from repro.serve import QueryEngine, serve_source
+    from repro.serve import QueryEngine, serve_source, serve_store
 
     engine = QueryEngine(synopsis, attach=True)
     synopsis.marginal((0, 3, 5))        # planned + cached from now on
 
     with serve_source("synopsis.npz", port=0) as server:
         print(server.url)               # e.g. http://127.0.0.1:49152
+
+    with serve_store("synopses/", port=0, watch=True) as server:
+        QueryClient(server.url).marginal((0, 3), dataset="adult")
 
 (``serve_synopsis`` remains as a deprecated alias of
 :func:`serve_source`.)
@@ -40,6 +48,7 @@ from repro.serve.engine import (
     QueryAnswer,
     QueryEngine,
 )
+from repro.serve.multiplex import DEFAULT_MAX_ENGINES, EngineRouter
 from repro.serve.planner import (
     PATH_COVERED,
     PATH_DERIVED,
@@ -55,15 +64,18 @@ from repro.serve.server import (
     DEFAULT_REQUEST_TIMEOUT,
     MarginalServer,
     serve_source,
+    serve_store,
     serve_synopsis,
 )
 
 __all__ = [
     "DEFAULT_CACHE_SIZE",
     "DEFAULT_HOST",
+    "DEFAULT_MAX_ENGINES",
     "DEFAULT_PORT",
     "DEFAULT_REQUEST_TIMEOUT",
     "DEFAULT_WORKERS",
+    "EngineRouter",
     "MarginalServer",
     "PATH_COVERED",
     "PATH_DERIVED",
@@ -77,5 +89,6 @@ __all__ = [
     "QueryPlanner",
     "SingleFlightLRU",
     "serve_source",
+    "serve_store",
     "serve_synopsis",
 ]

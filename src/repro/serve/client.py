@@ -9,8 +9,17 @@ Example::
     payload = client.marginal((0, 3, 5))    # raw protocol dict
     table = client.marginal_table((0, 3, 5))  # a MarginalTable
 
+Against a store-backed server (``repro store serve``), pass
+``dataset=`` to target one published dataset, or construct the client
+with a default: ``QueryClient(url, dataset="adult")``::
+
+    client.datasets()                        # what's published
+    client.marginal((0, 3), dataset="msnbc")
+    client.reload()                          # hot-swap new versions
+
 Server-side errors come back as the matching repro exceptions:
-``400`` → :class:`QueryError`, ``504`` → :class:`QueryTimeoutError`.
+``400``/``404`` → :class:`QueryError`, ``504`` →
+:class:`QueryTimeoutError`.
 """
 
 from __future__ import annotations
@@ -18,6 +27,7 @@ from __future__ import annotations
 import json
 import urllib.error
 import urllib.request
+from urllib.parse import quote
 
 from repro.exceptions import QueryError, QueryTimeoutError
 from repro.marginals.table import MarginalTable
@@ -27,9 +37,22 @@ from repro.serve.protocol import decode_table
 class QueryClient:
     """Talks to a :class:`repro.serve.MarginalServer`."""
 
-    def __init__(self, base_url: str, timeout: float = 60.0):
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 60.0,
+        dataset: str | None = None,
+    ):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.dataset = dataset
+
+    def _query_path(self, action: str, dataset: str | None) -> str:
+        """``/v1/marginal`` or ``/v1/d/{name}/marginal``."""
+        dataset = dataset if dataset is not None else self.dataset
+        if dataset is None:
+            return f"/v1/{action}"
+        return f"/v1/d/{quote(dataset, safe='')}/{action}"
 
     # ------------------------------------------------------------------
     def _request(self, path: str, payload: dict | None = None) -> dict:
@@ -64,18 +87,34 @@ class QueryClient:
     def stats(self) -> dict:
         return self._request("/stats")
 
-    def marginal(self, attrs, method: str | None = None) -> dict:
+    def datasets(self) -> list[dict]:
+        """Published datasets on a store-backed server."""
+        return self._request("/v1/datasets")["datasets"]
+
+    def reload(self) -> dict:
+        """Hot-swap newly published versions on a store-backed server."""
+        return self._request("/v1/reload", {})
+
+    def marginal(
+        self, attrs, method: str | None = None, dataset: str | None = None
+    ) -> dict:
         """One marginal query; returns the raw answer payload."""
         body = {"attrs": [int(a) for a in attrs]}
         if method is not None:
             body["method"] = method
-        return self._request("/v1/marginal", body)
+        return self._request(self._query_path("marginal", dataset), body)
 
-    def marginal_table(self, attrs, method: str | None = None) -> MarginalTable:
+    def marginal_table(
+        self, attrs, method: str | None = None, dataset: str | None = None
+    ) -> MarginalTable:
         """One marginal query, decoded into a :class:`MarginalTable`."""
-        return decode_table(self.marginal(attrs, method=method))
+        return decode_table(
+            self.marginal(attrs, method=method, dataset=dataset)
+        )
 
-    def batch(self, queries, method: str | None = None) -> dict:
+    def batch(
+        self, queries, method: str | None = None, dataset: str | None = None
+    ) -> dict:
         """A workload of queries; returns the raw batch payload.
 
         ``queries`` entries are attribute iterables or
@@ -97,9 +136,11 @@ class QueryClient:
         body: dict = {"queries": encoded}
         if method is not None:
             body["method"] = method
-        return self._request("/v1/batch", body)
+        return self._request(self._query_path("batch", dataset), body)
 
-    def batch_tables(self, queries, method: str | None = None) -> list[MarginalTable]:
+    def batch_tables(
+        self, queries, method: str | None = None, dataset: str | None = None
+    ) -> list[MarginalTable]:
         """A workload of queries, decoded into tables (input order)."""
-        payload = self.batch(queries, method=method)
+        payload = self.batch(queries, method=method, dataset=dataset)
         return [decode_table(answer) for answer in payload["answers"]]

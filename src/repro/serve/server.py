@@ -1,16 +1,28 @@
-"""Stdlib HTTP server exposing a :class:`QueryEngine`.
+"""Stdlib HTTP server exposing a :class:`QueryEngine` — or a fleet of
+them backed by a :class:`~repro.store.SynopsisStore`.
 
-Endpoints (JSON protocol in :mod:`repro.serve.protocol`):
+Single-source endpoints (JSON protocol in :mod:`repro.serve.protocol`):
 
 * ``POST /v1/marginal`` — answer one marginal query;
 * ``POST /v1/batch``    — answer a de-duplicated workload;
 * ``GET  /healthz``     — liveness + synopsis identity;
 * ``GET  /stats``       — planner-path / cache statistics.
 
+Store-backed (multi-dataset) endpoints, when constructed with
+``store=`` / ``router=`` (see ``docs/STORE.md``):
+
+* ``POST /v1/d/{name}/marginal`` and ``POST /v1/d/{name}/batch`` —
+  the same protocol, routed to the named dataset's engine (built
+  lazily, LRU-evicted, 404 for unknown names);
+* ``GET  /v1/datasets`` — every published dataset and what's serving;
+* ``POST /v1/reload``   — re-resolve against the store and hot-swap
+  newly published versions with zero dropped in-flight requests;
+* ``GET  /stats``       — router + store statistics.
+
 Built on :class:`http.server.ThreadingHTTPServer` (one thread per
 connection, daemonised), with per-request deadlines enforced through
 the engine (``504`` on miss), structured JSON error bodies, and
-graceful shutdown that drains the engine pool.
+graceful shutdown that drains the engine pool(s).
 """
 
 from __future__ import annotations
@@ -19,7 +31,9 @@ import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from time import monotonic
+from urllib.parse import unquote
 
+from repro import obs
 from repro.exceptions import QueryError, QueryTimeoutError, ReproError
 from repro.obs.log import get_logger
 from repro.serve.engine import QueryEngine
@@ -39,13 +53,17 @@ log = get_logger("serve")
 
 
 class _Handler(BaseHTTPRequestHandler):
-    server_version = "repro-serve/1.0"
+    server_version = "repro-serve/1.1"
     protocol_version = "HTTP/1.1"
 
     # -- plumbing -------------------------------------------------------
     @property
-    def engine(self) -> QueryEngine:
+    def engine(self) -> QueryEngine | None:
         return self.server.engine
+
+    @property
+    def router(self):
+        return self.server.router
 
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
         log.debug("%s %s", self.address_string(), format % args)
@@ -78,45 +96,107 @@ class _Handler(BaseHTTPRequestHandler):
         if self.path == "/healthz":
             self._send_json(200, self.server.health_payload())
         elif self.path == "/stats":
-            payload = self.engine.stats()
+            if self.router is not None:
+                payload = self.router.stats()
+            else:
+                payload = self.engine.stats()
             payload["server"] = self.server.server_payload()
             self._send_json(200, payload)
+        elif self.path == "/v1/datasets" and self.router is not None:
+            self._send_json(200, {"datasets": self.router.datasets()})
         else:
             self._send_error(404, QueryError(f"unknown path {self.path!r}"))
 
+    @staticmethod
+    def _split_dataset_path(path: str) -> tuple[str, str] | None:
+        """``/v1/d/{name}/marginal`` → ``(name, "marginal")``."""
+        if not path.startswith("/v1/d/"):
+            return None
+        rest = path[len("/v1/d/"):]
+        name, _, action = rest.rpartition("/")
+        if not name or action not in ("marginal", "batch", "stats"):
+            return None
+        return unquote(name), action
+
     def do_POST(self):  # noqa: N802 - stdlib naming
-        if self.path not in ("/v1/marginal", "/v1/batch"):
-            self._send_error(404, QueryError(f"unknown path {self.path!r}"))
-            return
-        timeout = self.server.request_timeout
         try:
-            body = self._read_json()
-            if self.path == "/v1/marginal":
-                attrs, method = parse_marginal_request(body)
-                answer = self.engine.answer(attrs, method=method, timeout=timeout)
-                self._send_json(200, encode_answer(answer))
-            else:
-                queries, method = parse_batch_request(body)
-                answers = self.engine.answer_batch(
-                    queries, method=method, timeout=timeout
-                )
-                self._send_json(200, {
-                    "answers": [encode_answer(a) for a in answers],
-                    "count": len(answers),
-                    "distinct": len({(a.attrs, a.method) for a in answers}),
-                })
+            if self.path == "/v1/reload":
+                if self.router is None:
+                    raise QueryError(
+                        "this server hosts a single source; /v1/reload "
+                        "needs a store-backed server (repro store serve)"
+                    )
+                self._send_json(200, self.router.reload())
+                return
+            routed = self._split_dataset_path(self.path)
+            if routed is not None:
+                self._dispatch_dataset(*routed)
+                return
+            if self.path in ("/v1/marginal", "/v1/batch"):
+                if self.engine is None:
+                    raise QueryError(
+                        "this server hosts a synopsis store; query "
+                        "per-dataset paths /v1/d/{name}/marginal or "
+                        "/v1/d/{name}/batch (GET /v1/datasets lists them)"
+                    )
+                self._dispatch(self.engine, self.path.rsplit("/", 1)[1])
+                return
+            self._send_error(404, QueryError(f"unknown path {self.path!r}"))
         except QueryTimeoutError as exc:
             self._send_error(504, exc)
         except ReproError as exc:
             # malformed attrs, unknown method, unanswerable query, ...
-            self._send_error(400, exc)
+            self._send_error(400 if not _is_not_found(exc) else 404, exc)
         except Exception as exc:  # pragma: no cover - defensive
             log.exception("internal error serving %s", self.path)
             self._send_error(500, exc)
 
+    def _dispatch_dataset(self, name: str, action: str) -> None:
+        if self.router is None:
+            raise QueryError(
+                "this server hosts a single source; query /v1/marginal "
+                "or /v1/batch instead of per-dataset paths"
+            )
+        obs.incr(f"serve.dataset.{name}")
+        with self.router.lease(name) as engine:
+            if action == "stats":
+                self._send_json(200, engine.stats())
+            else:
+                self._dispatch(engine, action)
+
+    def _dispatch(self, engine: QueryEngine, action: str) -> None:
+        timeout = self.server.request_timeout
+        body = self._read_json()
+        if action == "marginal":
+            attrs, method = parse_marginal_request(body)
+            answer = engine.answer(attrs, method=method, timeout=timeout)
+            self._send_json(200, encode_answer(answer))
+        else:
+            queries, method = parse_batch_request(body)
+            answers = engine.answer_batch(queries, method=method, timeout=timeout)
+            self._send_json(200, {
+                "answers": [encode_answer(a) for a in answers],
+                "count": len(answers),
+                "distinct": len({(a.attrs, a.method) for a in answers}),
+            })
+
+
+def _is_not_found(exc: ReproError) -> bool:
+    """Unknown-dataset errors surface as 404, not 400."""
+    return isinstance(exc, QueryError) and "unknown dataset" in str(exc)
+
 
 class MarginalServer:
-    """The serving endpoint: engine + ThreadingHTTPServer lifecycle.
+    """The serving endpoint: engine(s) + ThreadingHTTPServer lifecycle.
+
+    Construct with exactly one of:
+
+    * ``engine=`` — host a single marginal source (the original mode);
+    * ``store=``  — a :class:`~repro.store.SynopsisStore` (or its root
+      path): every published dataset is served under
+      ``/v1/d/{name}/...`` through a lazily built, hot-swappable
+      :class:`~repro.serve.multiplex.EngineRouter`;
+    * ``router=`` — a pre-configured router.
 
     Use as a context manager, or call :meth:`start` /
     :meth:`serve_forever` and :meth:`shutdown` explicitly.  Pass
@@ -125,17 +205,35 @@ class MarginalServer:
 
     def __init__(
         self,
-        engine: QueryEngine,
+        engine: QueryEngine | None = None,
         host: str = DEFAULT_HOST,
         port: int = DEFAULT_PORT,
         request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
         own_engine: bool = True,
+        store=None,
+        router=None,
+        **router_kwargs,
     ):
+        if sum(x is not None for x in (engine, store, router)) != 1:
+            raise QueryError(
+                "MarginalServer needs exactly one of engine=, store= "
+                "or router="
+            )
+        if store is not None:
+            from repro.serve.multiplex import EngineRouter
+
+            router = EngineRouter(store, **router_kwargs)
+        elif router_kwargs:
+            raise QueryError(
+                f"unexpected arguments {sorted(router_kwargs)} without store="
+            )
         self.engine = engine
+        self.router = router
         self._own_engine = own_engine
         self._httpd = ThreadingHTTPServer((host, port), _Handler)
         self._httpd.daemon_threads = True
         self._httpd.engine = engine
+        self._httpd.router = router
         self._httpd.request_timeout = request_timeout
         self._httpd.health_payload = self._health_payload
         self._httpd.server_payload = self._server_payload
@@ -154,10 +252,21 @@ class MarginalServer:
         return f"http://{host}:{port}"
 
     def _health_payload(self) -> dict:
+        if self.router is not None:
+            stats = self.router.stats()
+            return {
+                "status": "ok",
+                "mode": "store",
+                "datasets": stats["store"]["datasets"],
+                "entries": stats["store"]["entries"],
+                "hosted": len(stats["hosted"]),
+                "uptime_s": monotonic() - self._started_at,
+            }
         source = self.engine.source
         design = getattr(source, "design", None)
         return {
             "status": "ok",
+            "mode": "single",
             "design": getattr(design, "notation", None),
             "epsilon": getattr(source, "epsilon", None),
             "num_attributes": source.num_attributes,
@@ -192,13 +301,15 @@ class MarginalServer:
         self._httpd.serve_forever()
 
     def shutdown(self) -> None:
-        """Stop accepting requests, close the socket, drain the engine."""
+        """Stop accepting requests, close the socket, drain the engines."""
         self._httpd.shutdown()
         self._httpd.server_close()
         if self._thread is not None:
             self._thread.join(timeout=5)
             self._thread = None
-        if self._own_engine:
+        if self.router is not None:
+            self.router.close()
+        if self.engine is not None and self._own_engine:
             self.engine.close()
 
     def __enter__(self) -> "MarginalServer":
@@ -233,6 +344,36 @@ def serve_source(
     engine = QueryEngine(source, attach=True, **engine_kwargs)
     return MarginalServer(
         engine, host=host, port=port, request_timeout=request_timeout
+    )
+
+
+def serve_store(
+    store_or_path,
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
+    max_engines: int | None = None,
+    watch: bool = False,
+    **engine_kwargs,
+) -> MarginalServer:
+    """Serve every dataset of a synopsis store from one process.
+
+    ``store_or_path`` is a :class:`~repro.store.SynopsisStore` or its
+    root directory.  Engines are built per dataset on first request
+    and hot-swapped on ``POST /v1/reload`` (or automatically with
+    ``watch=True``, which polls the manifest mtime).  Returns an
+    unstarted :class:`MarginalServer`.
+    """
+    from repro.serve.multiplex import DEFAULT_MAX_ENGINES, EngineRouter
+
+    router = EngineRouter(
+        store_or_path,
+        max_engines=max_engines if max_engines is not None else DEFAULT_MAX_ENGINES,
+        watch=watch,
+        **engine_kwargs,
+    )
+    return MarginalServer(
+        router=router, host=host, port=port, request_timeout=request_timeout
     )
 
 

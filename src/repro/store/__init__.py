@@ -1,0 +1,53 @@
+"""``repro.store`` — a versioned, multi-tenant synopsis registry.
+
+The synopsis is PriView's published artifact; this package makes it a
+durable, queryable *product* instead of an in-memory object (see
+``docs/STORE.md``):
+
+* :class:`SynopsisStore` — one directory owning content-addressed
+  artifacts (temp + fsync + atomic rename; sha256 recorded in a
+  manifest; corruption quarantined, never served) and a registry
+  mapping ``name → ordered versions`` with
+  ``publish / get / resolve("name@latest") / pin / prune / gc /
+  verify`` under a file lock;
+* ``repro.serve`` hosts a whole store: ``serve_store(...)`` routes
+  ``POST /v1/d/{name}/marginal`` per dataset and hot-swaps newly
+  published versions with zero dropped in-flight requests;
+* the CLI front-end is ``repro store publish|ls|info|verify|gc|serve``.
+
+Quick tour::
+
+    from repro.store import SynopsisStore
+
+    store = SynopsisStore("synopses/")
+    store.publish("adult", synopsis, fit_seconds=12.5)
+    store.resolve("adult@latest").version     # 1
+    again = store.get("adult")                # integrity-checked load
+    store.verify()["clean"]                   # True
+"""
+
+from repro.store.locking import FileLock
+from repro.store.manifest import (
+    MANIFEST_NAME,
+    MANIFEST_VERSION,
+    DatasetEntry,
+    Manifest,
+    VersionInfo,
+)
+from repro.store.registry import (
+    DEFAULT_TMP_AGE_S,
+    SynopsisStore,
+    parse_spec,
+)
+
+__all__ = [
+    "DEFAULT_TMP_AGE_S",
+    "DatasetEntry",
+    "FileLock",
+    "MANIFEST_NAME",
+    "MANIFEST_VERSION",
+    "Manifest",
+    "SynopsisStore",
+    "VersionInfo",
+    "parse_spec",
+]

@@ -1,0 +1,165 @@
+"""Atomic, content-addressed artifact I/O.
+
+Every byte the store persists goes through the same discipline:
+
+1. write to a ``.tmp-*`` file **in the destination directory** (same
+   filesystem, so the final rename is atomic);
+2. flush + ``fsync`` the file, close it;
+3. ``os.replace`` onto the final name;
+4. ``fsync`` the containing directory so the rename itself is durable.
+
+A writer killed between (1) and (3) leaves only a ``.tmp-*`` file:
+readers never see it (objects are addressed by digest, the manifest by
+its fixed name), ``verify`` ignores it, and ``gc`` sweeps it once it
+is stale.  Objects are stored under ``objects/<aa>/<sha256>.npz``
+(two-hex-digit fan-out), which makes them immutable once renamed —
+hence safe to read without any lock.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pathlib
+import tempfile
+
+#: prefix of in-flight temp files; anything carrying it is invisible
+#: to readers and fair game for a stale-file sweep
+TMP_PREFIX = ".tmp-"
+
+#: file extension of stored synopsis artifacts
+OBJECT_SUFFIX = ".npz"
+
+# Indirection point: tests monkeypatch this to simulate a writer dying
+# between temp-write and rename (crash-consistency coverage).
+_replace = os.replace
+
+
+def file_sha256(path: str | os.PathLike, chunk_bytes: int = 1 << 20) -> str:
+    """sha256 of the file's raw bytes (streamed, constant memory)."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        while True:
+            block = handle.read(chunk_bytes)
+            if not block:
+                return digest.hexdigest()
+            digest.update(block)
+
+
+def fsync_dir(path: str | os.PathLike) -> None:
+    """fsync a directory so a rename inside it survives power loss."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def make_temp(directory: str | os.PathLike, suffix: str = "") -> pathlib.Path:
+    """An empty ``.tmp-*`` file in ``directory``, ready to be written."""
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    fd, name = tempfile.mkstemp(prefix=TMP_PREFIX, suffix=suffix, dir=directory)
+    os.close(fd)
+    return pathlib.Path(name)
+
+
+def fsync_file(path: str | os.PathLike) -> None:
+    """Flush a fully written file's data to stable storage."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: str | os.PathLike, data: bytes) -> int:
+    """Durably replace ``path`` with ``data`` (temp + fsync + rename)."""
+    path = pathlib.Path(path)
+    tmp = make_temp(path.parent, suffix=path.suffix)
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        _replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    fsync_dir(path.parent)
+    return len(data)
+
+
+def object_path(objects_dir: str | os.PathLike, sha256: str) -> pathlib.Path:
+    """Canonical content-addressed location of one artifact."""
+    return pathlib.Path(objects_dir) / sha256[:2] / f"{sha256}{OBJECT_SUFFIX}"
+
+
+def ingest_file(
+    tmp_path: str | os.PathLike, objects_dir: str | os.PathLike
+) -> tuple[str, pathlib.Path, int]:
+    """Move a fully written temp file into the object store.
+
+    Hashes ``tmp_path``, fsyncs it, and atomically renames it to its
+    content address.  Returns ``(sha256, final_path, size_bytes)``.
+    Publishing identical bytes twice is a no-op at this layer (the
+    object already exists); the temp file is always consumed.
+    """
+    tmp_path = pathlib.Path(tmp_path)
+    size = tmp_path.stat().st_size
+    sha = file_sha256(tmp_path)
+    final = object_path(objects_dir, sha)
+    final.parent.mkdir(parents=True, exist_ok=True)
+    if final.exists():
+        tmp_path.unlink(missing_ok=True)
+        return sha, final, size
+    fsync_file(tmp_path)
+    _replace(tmp_path, final)
+    fsync_dir(final.parent)
+    return sha, final, size
+
+
+def quarantine_file(
+    path: str | os.PathLike, quarantine_dir: str | os.PathLike
+) -> pathlib.Path:
+    """Move a corrupt artifact aside (never overwriting prior evidence).
+
+    Returns the quarantine location.  Quarantined bytes are kept for
+    post-mortem inspection instead of being deleted or re-served.
+    """
+    path = pathlib.Path(path)
+    quarantine_dir = pathlib.Path(quarantine_dir)
+    quarantine_dir.mkdir(parents=True, exist_ok=True)
+    target = quarantine_dir / path.name
+    attempt = 0
+    while target.exists():
+        attempt += 1
+        target = quarantine_dir / f"{path.stem}.{attempt}{path.suffix}"
+    os.replace(path, target)
+    fsync_dir(quarantine_dir)
+    return target
+
+
+def is_tmp(path: str | os.PathLike) -> bool:
+    """True for in-flight (or abandoned) ``.tmp-*`` files."""
+    return pathlib.Path(path).name.startswith(TMP_PREFIX)
+
+
+def iter_objects(objects_dir: str | os.PathLike):
+    """Yield every committed object file under ``objects_dir``."""
+    objects_dir = pathlib.Path(objects_dir)
+    if not objects_dir.is_dir():
+        return
+    for entry in sorted(objects_dir.rglob(f"*{OBJECT_SUFFIX}")):
+        if entry.is_file() and not is_tmp(entry):
+            yield entry
+
+
+def iter_tmp_files(root: str | os.PathLike):
+    """Yield every ``.tmp-*`` leftover anywhere under ``root``."""
+    root = pathlib.Path(root)
+    if not root.is_dir():
+        return
+    for entry in sorted(root.rglob(f"{TMP_PREFIX}*")):
+        if entry.is_file():
+            yield entry

@@ -1,0 +1,146 @@
+"""Cross-process (and cross-thread) file locks for the store.
+
+The registry serialises *mutations* — publish, pin, prune, gc — behind
+one exclusive lock per store root.  Readers never take it: the
+manifest and every artifact are only ever replaced atomically, so a
+reader always observes either the previous or the next complete state.
+
+The lock is two-layered:
+
+* a per-path :class:`threading.Lock` serialises threads inside one
+  process (``flock`` alone is per open-file-description, and nesting
+  semantics across threads are easy to get wrong);
+* ``fcntl.flock(LOCK_EX)`` on a sidecar lock file serialises
+  processes.  Where ``fcntl`` is unavailable the in-process lock still
+  applies and an ``O_CREAT | O_EXCL`` lock file is polled instead.
+
+Both layers are acquired with a deadline; exceeding it raises
+:class:`~repro.exceptions.StoreError` rather than hanging a publisher
+forever on a wedged peer.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import threading
+from time import monotonic, sleep
+
+from repro.exceptions import StoreError
+
+try:  # pragma: no cover - import guard exercised by platform
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
+
+DEFAULT_TIMEOUT = 30.0
+_POLL_S = 0.02
+
+# One in-process lock per lock-file path, shared by every FileLock
+# instance pointing at the same store.
+_guard = threading.Lock()
+_thread_locks: dict[str, threading.Lock] = {}
+
+
+def _thread_lock(path: pathlib.Path) -> threading.Lock:
+    key = str(path)
+    with _guard:
+        lock = _thread_locks.get(key)
+        if lock is None:
+            lock = _thread_locks[key] = threading.Lock()
+        return lock
+
+
+class FileLock:
+    """An exclusive advisory lock on ``path`` (a sidecar lock file).
+
+    Not re-entrant.  Use as a context manager::
+
+        with FileLock(store.lock_path):
+            ...mutate manifest...
+    """
+
+    def __init__(self, path: str | os.PathLike, timeout: float = DEFAULT_TIMEOUT):
+        self.path = pathlib.Path(path)
+        self.timeout = timeout
+        self._fd: int | None = None
+        self._thread_lock = _thread_lock(self.path)
+        self._held = False
+
+    # ------------------------------------------------------------------
+    def acquire(self) -> None:
+        if self._held:
+            raise StoreError(f"lock {self.path} is not re-entrant")
+        deadline = monotonic() + self.timeout
+        if not self._thread_lock.acquire(timeout=self.timeout):
+            raise StoreError(
+                f"timed out after {self.timeout}s waiting for the store "
+                f"lock {self.path} (in-process)"
+            )
+        try:
+            self._acquire_file(deadline)
+        except BaseException:
+            self._thread_lock.release()
+            raise
+        self._held = True
+
+    def release(self) -> None:
+        if not self._held:
+            return
+        self._held = False
+        try:
+            if self._fd is not None:
+                if fcntl is not None:
+                    fcntl.flock(self._fd, fcntl.LOCK_UN)
+                os.close(self._fd)
+                self._fd = None
+            elif fcntl is None:  # pragma: no cover - non-POSIX fallback
+                try:
+                    os.unlink(self.path)
+                except FileNotFoundError:
+                    pass
+        finally:
+            self._thread_lock.release()
+
+    # ------------------------------------------------------------------
+    def _acquire_file(self, deadline: float) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if fcntl is not None:
+            fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+            while True:
+                try:
+                    fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                    self._fd = fd
+                    return
+                except (BlockingIOError, InterruptedError):
+                    if monotonic() >= deadline:
+                        os.close(fd)
+                        raise StoreError(
+                            f"timed out after {self.timeout}s waiting for "
+                            f"the store lock {self.path}"
+                        ) from None
+                    sleep(_POLL_S)
+        else:  # pragma: no cover - non-POSIX fallback
+            while True:
+                try:
+                    os.close(os.open(
+                        self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644
+                    ))
+                    self._fd = None  # unlink-based; no fd kept
+                    return
+                except FileExistsError:
+                    if monotonic() >= deadline:
+                        raise StoreError(
+                            f"timed out after {self.timeout}s waiting for "
+                            f"the store lock {self.path}"
+                        ) from None
+                    sleep(_POLL_S)
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "FileLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.release()
+        return False

@@ -6,9 +6,19 @@ import numpy as np
 import pytest
 
 from repro.core.priview import PriView
-from repro.core.serialization import jsonable, load_synopsis, save_synopsis
+from repro.core.serialization import (
+    FORMAT_VERSION,
+    jsonable,
+    load_synopsis,
+    payload_digest,
+    save_synopsis,
+)
 from repro.covering.repository import best_design
-from repro.exceptions import DatasetError
+from repro.exceptions import (
+    DatasetError,
+    SynopsisFormatError,
+    SynopsisIntegrityError,
+)
 
 
 @pytest.fixture
@@ -108,3 +118,91 @@ class TestRoundTrip:
         np.savez_compressed(path, **payload)
         with pytest.raises(DatasetError):
             load_synopsis(path)
+
+
+def _rewrite_header(path, mutate):
+    """Re-pack a saved synopsis with a mutated header (arrays intact)."""
+    with np.load(path, allow_pickle=False) as archive:
+        payload = {k: archive[k] for k in archive.files}
+    header = json.loads(str(payload["header"]))
+    mutate(header)
+    payload["header"] = json.dumps(header)
+    np.savez_compressed(path, **payload)
+
+
+class TestIntegrity:
+    def test_header_records_payload_digest(self, synopsis, tmp_path):
+        path = save_synopsis(synopsis, tmp_path / "s.npz")
+        with np.load(path, allow_pickle=False) as archive:
+            header = json.loads(str(archive["header"]))
+        assert header["format_version"] == FORMAT_VERSION
+        assert header["payload_sha256"] == payload_digest(synopsis.views)
+
+    def test_flipped_byte_raises_typed_error(self, synopsis, tmp_path):
+        """The satellite acceptance: flip one byte and loading must
+        raise SynopsisIntegrityError — whether the flip lands in the
+        compressed header json, the compressed arrays, or the zip
+        end-of-central-directory record."""
+        reference = save_synopsis(synopsis, tmp_path / "ref.npz").read_bytes()
+        for offset in (
+            len(reference) // 3, len(reference) // 2, len(reference) - 3,
+        ):
+            path = tmp_path / f"flip{offset}.npz"
+            blob = bytearray(reference)
+            blob[offset] ^= 0xFF
+            path.write_bytes(bytes(blob))
+            with pytest.raises(SynopsisIntegrityError):
+                load_synopsis(path)
+
+    def test_tampered_counts_fail_digest(self, synopsis, tmp_path):
+        """A well-formed file whose counts were altered (digest left
+        stale) must fail verification, and load with verify=False."""
+        path = save_synopsis(synopsis, tmp_path / "t.npz")
+        with np.load(path, allow_pickle=False) as archive:
+            payload = {k: archive[k] for k in archive.files}
+        tampered = payload["view_0"].copy()
+        tampered.flat[0] += 1.0
+        payload["view_0"] = tampered
+        np.savez_compressed(path, **payload)
+        with pytest.raises(SynopsisIntegrityError, match="sha256"):
+            load_synopsis(path)
+        assert load_synopsis(path, verify=False).views[0].counts.flat[0] == (
+            tampered.flat[0]
+        )
+
+    def test_v1_file_without_digest_still_loads(self, synopsis, tmp_path):
+        path = save_synopsis(synopsis, tmp_path / "v1.npz")
+
+        def downgrade(header):
+            header["format_version"] = 1
+            del header["payload_sha256"]
+
+        _rewrite_header(path, downgrade)
+        again = load_synopsis(path)
+        assert again.epsilon == synopsis.epsilon
+
+
+class TestForwardCompat:
+    def test_newer_format_raises_clear_error(self, synopsis, tmp_path):
+        """A file written by a newer library must fail with an
+        explicit forward-compat message, not a KeyError mid-parse."""
+        path = save_synopsis(synopsis, tmp_path / "future.npz")
+        _rewrite_header(
+            path,
+            lambda header: header.update(format_version=FORMAT_VERSION + 1),
+        )
+        with pytest.raises(SynopsisFormatError, match="newer"):
+            load_synopsis(path)
+
+    def test_non_integer_version_is_integrity_error(self, synopsis, tmp_path):
+        path = save_synopsis(synopsis, tmp_path / "mangled.npz")
+        _rewrite_header(
+            path, lambda header: header.update(format_version="two")
+        )
+        with pytest.raises(SynopsisIntegrityError):
+            load_synopsis(path)
+
+    def test_format_error_is_a_dataset_error(self):
+        # callers catching the historical DatasetError keep working
+        assert issubclass(SynopsisFormatError, DatasetError)
+        assert issubclass(SynopsisIntegrityError, DatasetError)

@@ -67,3 +67,37 @@ class TestServeParser:
         assert args.command == "serve"
         assert args.port == 0
         assert args.cache_size == 64
+
+
+class TestServeSynopsisMigration:
+    """The deprecated ``serve_synopsis`` alias stays for external
+    users (tests/baselines/test_protocols.py asserts the warning), but
+    nothing inside this repo may call it anymore."""
+
+    INTERNAL_CALLERS = (
+        "src/repro/cli.py",
+        "scripts/serve_smoke.py",
+        "scripts/store_smoke.py",
+    )
+
+    def test_internal_callers_use_serve_source(self):
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parents[2]
+        for relative in self.INTERNAL_CALLERS:
+            path = root / relative
+            source = path.read_text()
+            assert "serve_synopsis" not in source, (
+                f"{relative} still calls the deprecated serve_synopsis"
+            )
+            assert "serve_source" in source or "serve_store" in source
+
+    def test_alias_still_warns_for_external_users(self, chain_synopsis):
+        import warnings
+
+        from repro.serve import serve_synopsis
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            with pytest.raises(DeprecationWarning, match="serve_source"):
+                serve_synopsis(chain_synopsis, port=0)

@@ -1,0 +1,85 @@
+"""Atomic-write and content-addressing primitives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.store import artifacts
+
+
+class TestAtomicWrite:
+    def test_replaces_content(self, tmp_path):
+        target = tmp_path / "blob.json"
+        artifacts.atomic_write_bytes(target, b"one")
+        artifacts.atomic_write_bytes(target, b"two")
+        assert target.read_bytes() == b"two"
+
+    def test_no_tmp_left_behind(self, tmp_path):
+        artifacts.atomic_write_bytes(tmp_path / "blob", b"payload")
+        assert list(artifacts.iter_tmp_files(tmp_path)) == []
+
+    def test_failed_rename_cleans_tmp_and_keeps_old(self, tmp_path, monkeypatch):
+        target = tmp_path / "blob"
+        artifacts.atomic_write_bytes(target, b"old")
+
+        def boom(src, dst):
+            raise OSError("simulated crash at rename")
+
+        monkeypatch.setattr(artifacts, "_replace", boom)
+        with pytest.raises(OSError):
+            artifacts.atomic_write_bytes(target, b"new")
+        assert target.read_bytes() == b"old"
+        monkeypatch.undo()
+        assert list(artifacts.iter_tmp_files(tmp_path)) == []
+
+
+class TestIngest:
+    def test_content_address_layout(self, tmp_path):
+        objects = tmp_path / "objects"
+        tmp = artifacts.make_temp(objects, suffix=".npz")
+        tmp.write_bytes(b"synopsis-bytes")
+        sha, final, size = artifacts.ingest_file(tmp, objects)
+        assert size == len(b"synopsis-bytes")
+        assert final == objects / sha[:2] / f"{sha}.npz"
+        assert final.read_bytes() == b"synopsis-bytes"
+        assert not tmp.exists()
+        assert sha == artifacts.file_sha256(final)
+
+    def test_identical_bytes_dedupe(self, tmp_path):
+        objects = tmp_path / "objects"
+        shas = []
+        for _ in range(2):
+            tmp = artifacts.make_temp(objects, suffix=".npz")
+            tmp.write_bytes(b"same payload")
+            sha, final, _ = artifacts.ingest_file(tmp, objects)
+            shas.append(sha)
+        assert shas[0] == shas[1]
+        assert len(list(artifacts.iter_objects(objects))) == 1
+
+    def test_tmp_files_invisible_to_readers(self, tmp_path):
+        objects = tmp_path / "objects"
+        artifacts.make_temp(objects, suffix=".npz").write_bytes(b"half-done")
+        assert list(artifacts.iter_objects(objects)) == []
+        assert len(list(artifacts.iter_tmp_files(tmp_path))) == 1
+
+
+class TestQuarantine:
+    def test_moves_file_aside(self, tmp_path):
+        bad = tmp_path / "objects" / "ab" / "abcd.npz"
+        bad.parent.mkdir(parents=True)
+        bad.write_bytes(b"corrupt")
+        target = artifacts.quarantine_file(bad, tmp_path / "quarantine")
+        assert not bad.exists()
+        assert target.read_bytes() == b"corrupt"
+
+    def test_never_overwrites_prior_evidence(self, tmp_path):
+        quarantine = tmp_path / "quarantine"
+        targets = []
+        for generation in range(3):
+            bad = tmp_path / "abcd.npz"
+            bad.write_bytes(f"corrupt-{generation}".encode())
+            targets.append(artifacts.quarantine_file(bad, quarantine))
+        assert len({t.name for t in targets}) == 3
+        assert sorted(p.read_bytes() for p in targets) == [
+            b"corrupt-0", b"corrupt-1", b"corrupt-2",
+        ]

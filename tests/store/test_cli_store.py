@@ -1,0 +1,85 @@
+"""CLI coverage for the ``store`` verb."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.serialization import save_synopsis
+
+
+@pytest.fixture
+def synopsis_path(alpha_synopsis, tmp_path):
+    return save_synopsis(alpha_synopsis, tmp_path / "loose.npz")
+
+
+@pytest.fixture
+def store_root(tmp_path):
+    return str(tmp_path / "registry")
+
+
+class TestStoreVerbs:
+    def test_publish_ls_info(self, store_root, synopsis_path, capsys):
+        assert main([
+            "store", "publish", "--store", store_root, "adult",
+            str(synopsis_path), "--created-at", "2026-08-06T00:00:00Z",
+            "--fit-seconds", "1.5",
+        ]) == 0
+        assert "published adult@1" in capsys.readouterr().out
+
+        assert main(["store", "ls", "--store", store_root]) == 0
+        out = capsys.readouterr().out
+        assert "adult" in out and "serving v1" in out
+
+        assert main(["store", "info", "--store", store_root, "adult@1"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["versions"][0]["created_at"] == "2026-08-06T00:00:00Z"
+        assert payload["versions"][0]["fit_seconds"] == 1.5
+
+    def test_verify_clean_and_corrupt_exit_codes(
+        self, store_root, synopsis_path, capsys
+    ):
+        from repro.store import SynopsisStore
+
+        main(["store", "publish", "--store", store_root, "adult",
+              str(synopsis_path)])
+        capsys.readouterr()
+        assert main(["store", "verify", "--store", store_root]) == 0
+        assert json.loads(capsys.readouterr().out)["clean"] is True
+
+        store = SynopsisStore(store_root, create=False)
+        path = store.object_path(store.resolve("adult"))
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        assert main(["store", "verify", "--store", store_root]) == 1
+        assert json.loads(capsys.readouterr().out)["corrupt"] == ["adult@1"]
+
+    def test_gc_sweeps_tmp(self, store_root, synopsis_path, capsys):
+        from repro.store import SynopsisStore, artifacts
+
+        main(["store", "publish", "--store", store_root, "adult",
+              str(synopsis_path)])
+        store = SynopsisStore(store_root, create=False)
+        artifacts.make_temp(store.objects_dir, suffix=".npz").write_bytes(b"x")
+        capsys.readouterr()
+        assert main([
+            "store", "gc", "--store", store_root, "--tmp-age", "0",
+        ]) == 0
+        assert len(json.loads(capsys.readouterr().out)["removed_tmp"]) == 1
+
+    def test_missing_store_for_readonly_verbs(self, store_root):
+        from repro.exceptions import StoreError
+
+        with pytest.raises(StoreError):
+            main(["store", "ls", "--store", store_root])
+
+    def test_store_serve_args_parse(self):
+        args = build_parser().parse_args([
+            "store", "serve", "--store", "registry/", "--port", "0",
+            "--max-engines", "4", "--watch", "--cache-size", "64",
+        ])
+        assert args.store_command == "serve"
+        assert args.max_engines == 4 and args.watch is True

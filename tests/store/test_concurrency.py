@@ -1,0 +1,111 @@
+"""Concurrent store access: publishers never corrupt readers.
+
+The satellite acceptance: one thread publishing versions in a loop
+while 8 reader threads ``resolve("name@latest")`` and query — readers
+must never observe a partial artifact or a checksum failure.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.store import SynopsisStore
+
+from tests.store.conftest import fit_synopsis
+
+READERS = 8
+PUBLISHES = 6
+
+
+@pytest.fixture(scope="module")
+def generations():
+    """Distinct small synopses, one per published version."""
+    return [fit_synopsis(d=8, seed=seed, epsilon=1.0) for seed in range(4)]
+
+
+def test_readers_never_see_partial_or_corrupt(tmp_path, generations):
+    synopses = generations
+    store = SynopsisStore(tmp_path / "store")
+    # Any loaded synopsis must reproduce exactly one generation's
+    # (0, 1) marginal, bitwise — anything else is a torn read.
+    reference = {s.marginal((0, 1)).counts.tobytes() for s in synopses}
+
+    store.publish("conc", synopses[0])
+    start = threading.Barrier(READERS + 1)
+    done = threading.Event()
+    failures: list[str] = []
+    reads = [0] * READERS
+
+    def reader(slot: int) -> None:
+        # Each reader gets its own handle: no shared mutable state.
+        mine = SynopsisStore(tmp_path / "store", create=False)
+        start.wait()
+        while not done.is_set() or reads[slot] == 0:
+            try:
+                info = mine.resolve("conc@latest")
+                synopsis = mine.load_version(info)  # checksum-verified
+                counts = synopsis.marginal((0, 1)).counts
+            except Exception as exc:  # noqa: BLE001 - the assertion
+                failures.append(f"reader {slot}: {type(exc).__name__}: {exc}")
+                break
+            if counts.tobytes() not in reference:
+                failures.append(
+                    f"reader {slot}: observed counts matching no "
+                    f"published generation (version {info.version})"
+                )
+                break
+            reads[slot] += 1
+
+    def publisher() -> None:
+        start.wait()
+        for publish in range(PUBLISHES):
+            store.publish("conc", synopses[(publish + 1) % len(synopses)])
+        done.set()
+
+    threads = [
+        threading.Thread(target=reader, args=(slot,), daemon=True)
+        for slot in range(READERS)
+    ]
+    threads.append(threading.Thread(target=publisher, daemon=True))
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+    done.set()
+
+    assert not failures, failures[:5]
+    assert all(count > 0 for count in reads), reads
+    assert store.resolve("conc").version == PUBLISHES + 1
+    assert store.verify()["clean"]
+
+
+def test_concurrent_publishers_never_lose_a_version(tmp_path, generations):
+    """Two threads publishing the same name interleave under the store
+    lock: every publish gets a unique, dense version number."""
+    synopses = generations
+    store = SynopsisStore(tmp_path / "store")
+    versions: list[int] = []
+    lock = threading.Lock()
+
+    def publisher(offset: int) -> None:
+        mine = SynopsisStore(tmp_path / "store")
+        for publish in range(3):
+            info = mine.publish("dense", synopses[(offset + publish) % len(synopses)])
+            with lock:
+                versions.append(info.version)
+
+    threads = [
+        threading.Thread(target=publisher, args=(offset,)) for offset in range(2)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+
+    assert sorted(versions) == [1, 2, 3, 4, 5, 6]
+    assert [v.version for v in store.manifest().entry("dense").versions] == [
+        1, 2, 3, 4, 5, 6,
+    ]

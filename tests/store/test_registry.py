@@ -1,0 +1,223 @@
+"""Registry semantics: publish, resolve, pin, prune, gc, verify, and
+crash consistency."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.exceptions import StoreError, SynopsisIntegrityError
+from repro.store import SynopsisStore, parse_spec
+from repro.store import artifacts
+
+
+class TestParseSpec:
+    @pytest.mark.parametrize("spec, expected", [
+        ("adult", ("adult", None)),
+        ("adult@latest", ("adult", None)),
+        ("adult@3", ("adult", 3)),
+    ])
+    def test_valid(self, spec, expected):
+        assert parse_spec(spec) == expected
+
+    @pytest.mark.parametrize("spec", ["", "@3", "adult@x", None])
+    def test_invalid(self, spec):
+        with pytest.raises(StoreError):
+            parse_spec(spec)
+
+
+class TestPublishResolve:
+    def test_versions_increase(self, store, alpha_synopsis, alpha_v2_synopsis):
+        v1 = store.publish("adult", alpha_synopsis)
+        v2 = store.publish("adult", alpha_v2_synopsis)
+        assert (v1.version, v2.version) == (1, 2)
+        assert store.resolve("adult").version == 2
+        assert store.resolve("adult@latest").version == 2
+        assert store.resolve("adult@1").sha256 == v1.sha256
+
+    def test_metadata_recorded(self, store, alpha_synopsis):
+        info = store.publish(
+            "adult", alpha_synopsis,
+            created_at="2026-08-06T00:00:00Z", fit_seconds=1.25,
+            extra={"note": "nightly"},
+        )
+        assert info.epsilon == alpha_synopsis.epsilon
+        assert info.num_attributes == alpha_synopsis.num_attributes
+        assert info.num_views == alpha_synopsis.num_views
+        assert info.design == alpha_synopsis.design.notation
+        assert info.created_at == "2026-08-06T00:00:00Z"
+        assert info.fit_seconds == 1.25
+        assert info.extra == {"note": "nightly"}
+        assert info.total_count == pytest.approx(alpha_synopsis.total_count())
+
+    def test_round_trip_is_bitwise(self, store, alpha_synopsis):
+        store.publish("adult", alpha_synopsis)
+        again = store.get("adult")
+        for mine, theirs in zip(alpha_synopsis.views, again.views):
+            assert mine.attrs == theirs.attrs
+            assert np.array_equal(mine.counts, theirs.counts)
+
+    def test_publish_from_path(self, store, alpha_synopsis, tmp_path):
+        from repro.core.serialization import save_synopsis
+
+        path = save_synopsis(alpha_synopsis, tmp_path / "loose.npz")
+        info = store.publish("adult", path)
+        assert info.epsilon == alpha_synopsis.epsilon
+        assert np.array_equal(
+            store.get("adult").views[0].counts, alpha_synopsis.views[0].counts
+        )
+
+    def test_identical_payload_dedupes_objects(self, store, alpha_synopsis):
+        a = store.publish("adult", alpha_synopsis)
+        b = store.publish("adult", alpha_synopsis)
+        assert a.sha256 == b.sha256
+        assert len(list(artifacts.iter_objects(store.objects_dir))) == 1
+
+    def test_unknown_dataset(self, store):
+        with pytest.raises(StoreError, match="unknown dataset"):
+            store.resolve("nope")
+
+    def test_bad_name_rejected(self, store, alpha_synopsis):
+        with pytest.raises(StoreError):
+            store.publish("bad@name", alpha_synopsis)
+
+
+class TestPinPruneGc:
+    def test_pin_redirects_default(self, store, alpha_synopsis, alpha_v2_synopsis):
+        store.publish("adult", alpha_synopsis)
+        store.publish("adult", alpha_v2_synopsis)
+        store.pin("adult", 1)
+        assert store.resolve("adult").version == 1
+        assert store.resolve("adult@latest").version == 1
+        assert store.resolve("adult@2").version == 2
+        store.unpin("adult")
+        assert store.resolve("adult").version == 2
+
+    def test_prune_keeps_pinned_and_newest(
+        self, store, alpha_synopsis, alpha_v2_synopsis, beta_synopsis
+    ):
+        for synopsis in (alpha_synopsis, alpha_v2_synopsis, beta_synopsis):
+            store.publish("adult", synopsis)
+        store.pin("adult", 1)
+        dropped = store.prune("adult", keep_last=1)
+        assert [d.version for d in dropped] == [2]
+        kept = [v.version for v in store.manifest().entry("adult").versions]
+        assert kept == [1, 3]
+
+    def test_gc_removes_unreferenced_objects(
+        self, store, alpha_synopsis, alpha_v2_synopsis
+    ):
+        store.publish("adult", alpha_synopsis)
+        v2 = store.publish("adult", alpha_v2_synopsis)
+        store.prune("adult", keep_last=1)
+        summary = store.gc(tmp_age_s=0)
+        assert len(summary["removed_objects"]) == 1
+        assert summary["reclaimed_bytes"] > 0
+        # survivor still loads
+        assert store.get("adult@2").epsilon is not None
+        assert store.resolve("adult").sha256 == v2.sha256
+
+
+class TestCrashConsistency:
+    def test_clean_failure_at_rename_leaves_previous_serving(
+        self, store, alpha_synopsis, alpha_v2_synopsis, monkeypatch
+    ):
+        """A publish failing between temp-write and rename must leave
+        the registry exactly as it was."""
+        v1 = store.publish("adult", alpha_synopsis)
+
+        def boom(src, dst):
+            raise OSError("simulated kill between temp-write and rename")
+
+        monkeypatch.setattr(artifacts, "_replace", boom)
+        with pytest.raises(OSError):
+            store.publish("adult", alpha_v2_synopsis)
+        monkeypatch.undo()
+
+        assert store.resolve("adult").sha256 == v1.sha256
+        report = store.verify()
+        assert report["clean"] and report["checked"] == 1
+        table = store.get("adult").marginal((0, 1))
+        assert np.array_equal(table.counts, alpha_synopsis.marginal((0, 1)).counts)
+
+    def test_hard_kill_leftover_tmp_is_invisible_then_swept(
+        self, store, alpha_synopsis
+    ):
+        """Simulate a writer dying mid-write: only a .tmp-* file
+        remains.  verify() stays clean; gc sweeps it once stale."""
+        store.publish("adult", alpha_synopsis)
+        leftover = artifacts.make_temp(store.objects_dir, suffix=".npz")
+        leftover.write_bytes(b"half a synopsis")
+
+        report = store.verify()
+        assert report["clean"]
+        assert leftover.name in report["tmp_files"]
+
+        summary = store.gc(tmp_age_s=0)
+        assert leftover.name in summary["removed_tmp"]
+        assert not leftover.exists()
+        assert store.verify()["tmp_files"] == []
+
+    def test_fresh_tmp_not_swept(self, store, alpha_synopsis):
+        store.publish("adult", alpha_synopsis)
+        leftover = artifacts.make_temp(store.objects_dir, suffix=".npz")
+        assert store.gc()["removed_tmp"] == []  # default 1h age guard
+        assert leftover.exists()
+
+
+class TestIntegrity:
+    def _corrupt_object(self, store, info):
+        path = store.object_path(info)
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        return path
+
+    def test_corrupt_load_quarantines_and_raises(self, store, alpha_synopsis):
+        info = store.publish("adult", alpha_synopsis)
+        self._corrupt_object(store, info)
+        with obs.session() as sess:
+            with pytest.raises(SynopsisIntegrityError):
+                store.get("adult")
+            counters = sess.metrics.snapshot()["counters"]
+        assert counters.get("store.corrupt_artifacts") == 1
+        assert not store.object_path(info).exists()
+        assert len(list(store.quarantine_dir.iterdir())) == 1
+        # the artifact is gone, not silently re-served
+        with pytest.raises(StoreError, match="missing"):
+            store.get("adult")
+
+    def test_verify_reports_corruption(self, store, alpha_synopsis, beta_synopsis):
+        store.publish("adult", alpha_synopsis)
+        info = store.publish("msnbc", beta_synopsis)
+        self._corrupt_object(store, info)
+        report = store.verify()
+        assert not report["clean"]
+        assert report["corrupt"] == ["msnbc@1"]
+        assert report["ok"] == 1
+        # quarantine=True moves the bad artifact aside
+        report = store.verify(quarantine=True)
+        assert report["corrupt"] == ["msnbc@1"]
+        assert len(list(store.quarantine_dir.iterdir())) == 1
+        assert store.verify()["missing"] == ["msnbc@1"]
+
+    def test_open_missing_store(self, tmp_path):
+        with pytest.raises(StoreError):
+            SynopsisStore(tmp_path / "nope", create=False)
+
+
+class TestObsWiring:
+    def test_publish_gauges_and_spans(self, store, alpha_synopsis):
+        from repro.obs.exporters import flatten_stages
+
+        with obs.session() as sess:
+            store.publish("adult", alpha_synopsis)
+            store.get("adult")
+            snapshot = sess.metrics.snapshot()
+            stages = flatten_stages(sess.tracer.roots)
+        assert snapshot["counters"].get("store.publish") == 1
+        assert snapshot["counters"].get("store.load") == 1
+        assert snapshot["gauges"].get("store.entries") == 1
+        assert snapshot["gauges"].get("store.bytes", 0) > 0
+        assert "store.publish" in stages and "store.load" in stages
