@@ -86,9 +86,25 @@ def build_parser() -> argparse.ArgumentParser:
         "noise streams; synopsis independent of N)",
     )
 
-    serve_parser = sub.add_parser(
+    def telemetry_flags(p):
+        p.add_argument(
+            "--trace-sample-rate", type=float, default=0.0, metavar="RATE",
+            help="head-sampling probability for requests without a "
+            "traceparent header (0 = ids only, no span tagging)",
+        )
+        p.add_argument(
+            "--metrics-out", default=None, metavar="PATH",
+            help="append periodic JSON-lines metrics snapshots to PATH",
+        )
+        p.add_argument(
+            "--metrics-interval", type=float, default=10.0, metavar="SECONDS",
+            help="snapshot period for --metrics-out (default 10s)",
+        )
+        return p
+
+    serve_parser = telemetry_flags(sub.add_parser(
         "serve", help="serve marginal queries from a saved synopsis over HTTP"
-    )
+    ))
     serve_parser.add_argument(
         "--synopsis", required=True, metavar="PATH",
         help="synopsis .npz written by repro.core.serialization.save_synopsis",
@@ -176,9 +192,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="fit wall-time to record in the version metadata",
     )
 
-    store_dir(store_sub.add_parser(
+    ls = store_dir(store_sub.add_parser(
         "ls", help="list published datasets and versions"
     ))
+    ls.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="machine-readable listing with raw byte counts",
+    )
 
     info = store_dir(store_sub.add_parser(
         "info", help="describe one dataset (or name@version)"
@@ -201,9 +221,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="minimum age before a .tmp-* leftover is swept (default 3600)",
     )
 
-    store_serve = store_dir(store_sub.add_parser(
+    store_serve = telemetry_flags(store_dir(store_sub.add_parser(
         "serve", help="serve every published dataset over HTTP"
-    ))
+    )))
     store_serve.add_argument("--host", default=None, help="bind address")
     store_serve.add_argument(
         "--port", type=int, default=None, help="bind port (0 = ephemeral)"
@@ -233,6 +253,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--method", default=None,
         help="default reconstruction method (maxent)",
     )
+
+    obs_parser = sub.add_parser("obs", help="telemetry utilities")
+    obs_sub = obs_parser.add_subparsers(dest="obs_command", required=True)
+    dump = obs_sub.add_parser(
+        "dump", help="dump metrics as Prometheus exposition text"
+    )
+    dump_source = dump.add_mutually_exclusive_group(required=True)
+    dump_source.add_argument(
+        "--url", metavar="URL",
+        help="scrape GET /metrics from a running server",
+    )
+    dump_source.add_argument(
+        "--snapshots", metavar="PATH",
+        help="render the newest snapshot in a --metrics-out JSON-lines file",
+    )
+    dump.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="print parsed metric families as JSON instead of text",
+    )
+    dump.add_argument(
+        "--log-level", choices=LEVELS, default=None,
+        help="logging verbosity on stderr (default: warning)",
+    )
     return parser
 
 
@@ -244,6 +287,16 @@ def _parse_attr_list(text: str) -> tuple[int, ...]:
             f"error: bad attribute list {text!r} "
             "(expected comma-separated integers, e.g. 0,3,5)"
         )
+
+
+def _human_bytes(n) -> str:
+    value = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            if unit == "B":
+                return f"{int(value)} B"
+            return f"{value:.1f} {unit}"
+        value /= 1024
 
 
 def _render_answer(payload: dict) -> str:
@@ -282,6 +335,9 @@ def _cmd_serve(args) -> int:
             args.timeout if args.timeout is not None
             else serve_server.DEFAULT_REQUEST_TIMEOUT
         ),
+        trace_sample_rate=args.trace_sample_rate,
+        metrics_out=args.metrics_out,
+        metrics_interval_s=args.metrics_interval,
         **engine_kwargs,
     )
     stats = server.engine.stats()["synopsis"]
@@ -350,21 +406,43 @@ def _cmd_store(args) -> int:
     store = SynopsisStore(args.store, create=False)
     if args.store_command == "ls":
         entries = store.entries()
+        stats = store.stats()
+        if args.as_json:
+            from dataclasses import asdict
+
+            payload = {
+                "datasets": [
+                    {
+                        "name": entry.name,
+                        "serving": entry.default.version,
+                        "pinned": entry.pinned,
+                        "versions": [asdict(v) for v in entry.versions],
+                    }
+                    for entry in entries
+                ],
+                "stats": stats,
+            }
+            print(_json.dumps(payload, indent=2, sort_keys=True))
+            return 0
         if not entries:
             print("(empty store)")
         for entry in entries:
             default = entry.default
             pin = f"  pinned@{entry.pinned}" if entry.pinned is not None else ""
+            created = (
+                f"  created {default.created_at}" if default.created_at else ""
+            )
             print(
                 f"{entry.name:24s} {len(entry.versions)} version(s), "
                 f"serving v{default.version} "
                 f"(epsilon={default.epsilon}, d={default.num_attributes}, "
-                f"design={default.design}){pin}"
+                f"design={default.design}, "
+                f"{_human_bytes(default.size_bytes)})"
+                f"{created}{pin}"
             )
-        stats = store.stats()
         print(
             f"total: {stats['datasets']} dataset(s), {stats['entries']} "
-            f"version(s), {stats['bytes']} bytes"
+            f"version(s), {_human_bytes(stats['bytes'])}"
         )
         return 0
     if args.store_command == "info":
@@ -401,6 +479,9 @@ def _cmd_store(args) -> int:
         ),
         max_engines=args.max_engines,
         watch=args.watch,
+        trace_sample_rate=args.trace_sample_rate,
+        metrics_out=args.metrics_out,
+        metrics_interval_s=args.metrics_interval,
         **engine_kwargs,
     )
     stats = store.stats()
@@ -414,6 +495,41 @@ def _cmd_store(args) -> int:
         log.info("interrupted; shutting down")
     finally:
         server.shutdown()
+    return 0
+
+
+def _cmd_obs(args) -> int:
+    import json as _json
+
+    from repro.obs.prometheus import parse_prometheus, render_prometheus
+
+    if args.url:
+        from repro.serve.client import QueryClient
+
+        text = QueryClient(args.url).metrics()
+    else:
+        from repro.obs.exporters import read_metrics_snapshots
+
+        snapshots = read_metrics_snapshots(args.snapshots)
+        if not snapshots:
+            print(f"no metrics snapshots in {args.snapshots}", file=sys.stderr)
+            return 1
+        text = render_prometheus(snapshots[-1])
+    if args.as_json:
+        families = parse_prometheus(text)
+        payload = {
+            name: {
+                "type": family["type"],
+                "samples": [
+                    {"name": n, "labels": labels, "value": value}
+                    for n, labels, value in family["samples"]
+                ],
+            }
+            for name, family in families.items()
+        }
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(text, end="")
     return 0
 
 
@@ -431,6 +547,8 @@ def main(argv=None) -> int:
         return _cmd_query(args)
     if args.command == "store":
         return _cmd_store(args)
+    if args.command == "obs":
+        return _cmd_obs(args)
     log = get_logger("cli")
     kernel_defaults = {}
     if args.workers is not None:

@@ -28,6 +28,8 @@ different from the legacy ``workers=None`` sequential stream.  See
 
 from __future__ import annotations
 
+from time import perf_counter
+
 import numpy as np
 
 from repro import obs
@@ -211,6 +213,7 @@ class PriView:
         configured = self.epsilon
         if self.design is None and not np.isinf(self.epsilon):
             configured = self.epsilon + RECORD_COUNT_EPSILON
+        fit_start = perf_counter()
         with obs.span("priview.fit"), obs.budget_scope("PriView.fit", configured):
             with obs.span("choose_design"):
                 design = self.choose_design(dataset)
@@ -221,6 +224,11 @@ class PriView:
                 views = self.generate_noisy_views(dataset, design)
             with obs.span("post_process"):
                 views = self.post_process(views)
+            obs.observe(
+                "fit.seconds",
+                perf_counter() - fit_start,
+                {"mechanism": "priview"},
+            )
         return PriViewSynopsis(
             design=design,
             views=views,

@@ -63,3 +63,32 @@ class QueryError(ReproError):
 
 class QueryTimeoutError(QueryError):
     """A served marginal query missed its deadline."""
+
+
+class RemoteQueryError(QueryError):
+    """A query rejected by a remote marginal server.
+
+    Carries the structured error body the server returned so callers
+    can branch on the original error type and correlate with server
+    logs via the request/trace ids, instead of string-matching a
+    flattened message.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        status: int,
+        error_type: str | None = None,
+        request_id: str | None = None,
+        trace_id: str | None = None,
+    ):
+        super().__init__(message)
+        self.status = status
+        self.error_type = error_type
+        self.request_id = request_id
+        self.trace_id = trace_id
+
+
+class RemoteQueryTimeoutError(RemoteQueryError, QueryTimeoutError):
+    """A remote marginal query missed its server-side deadline."""

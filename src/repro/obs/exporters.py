@@ -21,6 +21,8 @@ from __future__ import annotations
 import json
 import math
 import pathlib
+import threading
+import time
 
 from repro.obs.tracing import Span
 
@@ -71,6 +73,104 @@ class JsonLinesExporter:
         if self._handle is not None:
             self._handle.close()
             self._handle = None
+
+
+class MetricsSnapshotWriter:
+    """Periodic JSON-lines metrics snapshots, for headless runs.
+
+    Appends one ``{"type": "metrics_snapshot", "ts": ..., "seq": n,
+    "counters": ..., "gauges": ..., "observations": ...,
+    "histograms": ...}`` record per interval (plus one final record on
+    :meth:`stop`), so a long-running server leaves a scrape-free
+    metrics trajectory behind.  ``registry`` may be an explicit
+    :class:`~repro.obs.metrics.MetricsRegistry` or None, meaning
+    "whatever session is active at each tick".
+
+    Writes are serialised under a lock and each record is a single
+    ``write()`` call, so concurrent :meth:`write_now` callers never
+    interleave or tear lines (exercised by
+    ``tests/obs/test_concurrency.py``).
+    """
+
+    def __init__(self, path, registry=None, interval_s: float = 10.0):
+        self.path = pathlib.Path(path)
+        self.registry = registry
+        self.interval_s = float(interval_s)
+        self._lock = threading.Lock()
+        self._handle = None
+        self._seq = 0
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def _resolve_registry(self):
+        if self.registry is not None:
+            return self.registry
+        from repro.obs.session import current
+
+        sess = current()
+        return sess.metrics if sess is not None else None
+
+    def write_now(self) -> dict | None:
+        """Append one snapshot record immediately; returns it."""
+        registry = self._resolve_registry()
+        if registry is None:
+            return None
+        snapshot = registry.snapshot()
+        with self._lock:
+            self._seq += 1
+            record = {
+                "type": "metrics_snapshot",
+                "ts": time.time(),
+                "seq": self._seq,
+                **snapshot,
+            }
+            if self._handle is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._handle = self.path.open("a", encoding="utf-8")
+            self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+            self._handle.flush()
+        return record
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self.write_now()
+
+    def start(self) -> "MetricsSnapshotWriter":
+        """Start the background snapshot thread; returns self."""
+        if self._thread is None:
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._run, name="repro-metrics-snapshots", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the thread, flush one final snapshot, close the file."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+        self.write_now()
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    def __enter__(self) -> "MetricsSnapshotWriter":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.stop()
+        return False
+
+
+def read_metrics_snapshots(path) -> list[dict]:
+    """The metrics-snapshot records in a JSON-lines file."""
+    return [
+        record for record in read_jsonl(path)
+        if record.get("type") == "metrics_snapshot"
+    ]
 
 
 def read_jsonl(path) -> list[dict]:
@@ -235,11 +335,19 @@ def render_counters(snapshot: dict) -> str:
             lines.append(f"  {name:<40} {gauges[name]:>14g}")
     if observations:
         lines.append("observations")
+        histograms = snapshot.get("histograms", {})
         for name in sorted(observations):
             rec = observations[name]
+            hist = histograms.get(name) or {}
+            quantiles = ""
+            if "p50" in hist:
+                quantiles = (
+                    f" p50={hist['p50']:.6g} p95={hist['p95']:.6g}"
+                    f" p99={hist['p99']:.6g}"
+                )
             lines.append(
                 f"  {name:<40} n={rec['count']:g} mean={rec['mean']:.6g}"
-                f" min={rec['min']:.6g} max={rec['max']:.6g}"
+                f" min={rec['min']:.6g} max={rec['max']:.6g}{quantiles}"
             )
     return "\n".join(lines)
 

@@ -1,0 +1,258 @@
+"""Prometheus text exposition for the metrics registry.
+
+:func:`render_prometheus` turns a :meth:`MetricsRegistry.snapshot`
+dict into the text format every Prometheus-compatible scraper reads
+(``GET /metrics`` on the serving layer, ``repro obs dump`` on the
+CLI).  :func:`parse_prometheus` is the inverse used by the CI gate to
+prove the output is machine-parseable and the expected series exist.
+
+Mapping rules
+-------------
+* dotted metric names are sanitised to ``snake_case``
+  (``serve.request_seconds`` → ``serve_request_seconds``);
+* counters gain a ``_total`` suffix; a handful of counter families
+  that encode a label in their dotted name are re-shaped into real
+  labels (``serve.path.solved`` →
+  ``serve_path_requests_total{path="solved"}``, ``serve.dataset.X`` →
+  ``serve_dataset_requests_total{dataset="X"}``) so dashboards can
+  aggregate across them;
+* gauges pass through;
+* observation series become full histogram families: cumulative
+  ``_bucket{le="..."}`` lines per bound plus ``+Inf``, ``_sum`` and
+  ``_count``, labeled with the series labels — quantiles are left to
+  the scraper (``histogram_quantile`` over the buckets).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: Counter families whose dotted suffix is really a label value:
+#: prefix -> (metric name, label key).
+_RELABELED_COUNTERS = {
+    "serve.path.": ("serve_path_requests_total", "path"),
+    "serve.dataset.": ("serve_dataset_requests_total", "dataset"),
+}
+
+
+def sanitize_name(name: str) -> str:
+    """A legal Prometheus metric name for a dotted repro metric."""
+    out = _NAME_OK.sub("_", name.replace(".", "_"))
+    if out and out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def _escape_label(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _labels_text(labels: dict) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{sanitize_name(k)}="{_escape_label(v)}"'
+        for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _fmt(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _histogram_lines(name: str, labels: dict, hist: dict) -> list[str]:
+    """Exposition lines for one histogram series snapshot."""
+    lines = []
+    cumulative = 0
+    by_le = {le: n for le, n in hist.get("buckets", ())}
+    bounds = sorted(le for le in by_le if le is not None)
+    for le in bounds:
+        cumulative += by_le[le]
+        lines.append(
+            f"{name}_bucket{_labels_text({**labels, 'le': _fmt(le)})}"
+            f" {cumulative}"
+        )
+    cumulative += by_le.get(None, 0)
+    lines.append(
+        f"{name}_bucket{_labels_text({**labels, 'le': '+Inf'})} {cumulative}"
+    )
+    lines.append(f"{name}_sum{_labels_text(labels)} {_fmt(hist['sum'])}")
+    lines.append(f"{name}_count{_labels_text(labels)} {hist['count']}")
+    return lines
+
+
+def render_prometheus(snapshot: dict, help_text: dict | None = None) -> str:
+    """Prometheus text exposition (format 0.0.4) for one snapshot.
+
+    ``snapshot`` is :meth:`MetricsRegistry.snapshot` output (or a
+    JSON-lines record of one — the format is stable under JSON).
+    """
+    help_text = help_text or {}
+    out: list[str] = []
+
+    # -- counters ------------------------------------------------------
+    relabeled: dict[str, list[tuple[dict, float]]] = {}
+    plain: dict[str, float] = {}
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        for prefix, (family, label_key) in _RELABELED_COUNTERS.items():
+            if name.startswith(prefix) and len(name) > len(prefix):
+                relabeled.setdefault(family, []).append(
+                    ({label_key: name[len(prefix):]}, value)
+                )
+                break
+        else:
+            plain[name] = value
+    for family in sorted(relabeled):
+        out.append(f"# TYPE {family} counter")
+        for labels, value in relabeled[family]:
+            out.append(f"{family}{_labels_text(labels)} {_fmt(value)}")
+    for name, value in plain.items():
+        metric = sanitize_name(name)
+        if not metric.endswith("_total"):
+            metric += "_total"
+        if metric in help_text:
+            out.append(f"# HELP {metric} {help_text[metric]}")
+        out.append(f"# TYPE {metric} counter")
+        out.append(f"{metric} {_fmt(value)}")
+
+    # -- gauges --------------------------------------------------------
+    for name, value in sorted(snapshot.get("gauges", {}).items()):
+        metric = sanitize_name(name)
+        out.append(f"# TYPE {metric} gauge")
+        out.append(f"{metric} {_fmt(value)}")
+
+    # -- histograms ----------------------------------------------------
+    families: dict[str, list[tuple[dict, dict]]] = {}
+    for rendered, hist in snapshot.get("histograms", {}).items():
+        base = hist.get("metric") or rendered
+        labels = dict(hist.get("labels") or {})
+        families.setdefault(sanitize_name(base), []).append((labels, hist))
+    for metric in sorted(families):
+        if metric in help_text:
+            out.append(f"# HELP {metric} {help_text[metric]}")
+        out.append(f"# TYPE {metric} histogram")
+        for labels, hist in families[metric]:
+            out.extend(_histogram_lines(metric, labels, hist))
+    return "\n".join(out) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Parsing (for gates and tests; a deliberately small subset)
+# ----------------------------------------------------------------------
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)\s*$"
+)
+_LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_prometheus(text: str) -> dict:
+    """Parse exposition text into ``{family: {"type", "samples"}}``.
+
+    Each sample is ``(metric_name, labels_dict, float_value)``; the
+    family key strips ``_bucket``/``_sum``/``_count`` suffixes for
+    histogram families so a whole histogram lands in one entry.
+    Raises ``ValueError`` on any malformed line, which is exactly what
+    the CI gate wants to detect.
+    """
+    families: dict[str, dict] = {}
+    types: dict[str, str] = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        line = line.rstrip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                raise ValueError(f"line {lineno}: malformed TYPE: {line!r}")
+            types[parts[2]] = parts[3]
+            families.setdefault(
+                parts[2], {"type": parts[3], "samples": []}
+            )["type"] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: malformed sample: {line!r}")
+        name = match.group("name")
+        labels = {}
+        if match.group("labels"):
+            labels = {
+                key: value.encode().decode("unicode_escape")
+                for key, value in _LABEL.findall(match.group("labels"))
+            }
+        raw = match.group("value")
+        if raw == "+Inf":
+            value = math.inf
+        elif raw == "-Inf":
+            value = -math.inf
+        else:
+            value = float(raw)  # raises ValueError on garbage
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in types:
+                family = name[: -len(suffix)]
+                break
+        families.setdefault(
+            family, {"type": types.get(family, "untyped"), "samples": []}
+        )["samples"].append((name, labels, value))
+    return families
+
+
+def histogram_quantile(samples: list, q: float) -> float | None:
+    """``histogram_quantile`` over parsed ``_bucket`` samples.
+
+    ``samples`` are the ``(name, labels, value)`` tuples of one
+    histogram family (buckets may span several label sets; they are
+    summed, mirroring a PromQL ``sum by (le)``).  Linear interpolation
+    inside the winning bucket, matching
+    :meth:`repro.obs.metrics.Histogram.quantile` up to the min/max
+    clamp, so scraped p95s agree with the engine's internal snapshot
+    within one bucket.
+    """
+    by_le: dict[float, float] = {}
+    for name, labels, value in samples:
+        if not name.endswith("_bucket") or "le" not in labels:
+            continue
+        le = math.inf if labels["le"] == "+Inf" else float(labels["le"])
+        by_le[le] = by_le.get(le, 0.0) + value
+    if not by_le:
+        return None
+    bounds = sorted(by_le)
+    total = by_le[bounds[-1]]
+    if total == 0:
+        return None
+    target = q * total
+    previous_bound, previous_cum = 0.0, 0.0
+    for bound in bounds:
+        cumulative = by_le[bound]
+        if cumulative >= target:
+            if bound == math.inf:
+                return previous_bound
+            count = cumulative - previous_cum
+            if count <= 0:
+                return bound
+            return previous_bound + (target - previous_cum) / count * (
+                bound - previous_bound
+            )
+        previous_bound, previous_cum = bound, cumulative
+    return bounds[-1]

@@ -1,0 +1,134 @@
+"""End-to-end trace propagation: request ids across process hops.
+
+One :class:`TraceContext` identifies one logical request — a
+``trace_id`` shared by every span the request triggers anywhere, a
+``span_id`` naming the current hop (the serving layer uses the
+server-side hop's span id as the request id it returns to clients),
+and a head-based ``sampled`` flag decided once at the edge (client or
+server) and respected downstream, so tracing stays cheap at high qps.
+
+The wire format is the W3C ``traceparent`` header::
+
+    traceparent: 00-<32 hex trace id>-<16 hex span id>-<01|00>
+
+Inside a process the current context rides a ``threading.local``;
+:func:`trace_scope` installs it for a block, and the serving engine
+re-installs it on pool threads before running submitted work, so
+spans opened anywhere under a request inherit its trace id (see
+:attr:`repro.obs.tracing.Span.trace_id`).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+
+TRACEPARENT_HEADER = "traceparent"
+REQUEST_ID_HEADER = "X-Request-Id"
+
+_VERSION = "00"
+
+
+def _hex_id(nbytes: int) -> str:
+    return os.urandom(nbytes).hex()
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One request's identity: trace id, hop span id, sampling bit."""
+
+    trace_id: str
+    span_id: str
+    sampled: bool = True
+
+    @property
+    def traceparent(self) -> str:
+        """The W3C-style header value for this context."""
+        flag = "01" if self.sampled else "00"
+        return f"{_VERSION}-{self.trace_id}-{self.span_id}-{flag}"
+
+    def child(self) -> "TraceContext":
+        """Same trace, fresh span id — one per hop (e.g. per server
+        request, where the new span id doubles as the request id)."""
+        return replace(self, span_id=_hex_id(8))
+
+
+def new_context(sampled: bool = True) -> TraceContext:
+    """A fresh root context (new trace id + span id)."""
+    return TraceContext(
+        trace_id=_hex_id(16), span_id=_hex_id(8), sampled=sampled
+    )
+
+
+def sampled_context(rate: float) -> TraceContext:
+    """A fresh root context, sampled with probability ``rate``.
+
+    ``rate <= 0`` never samples, ``rate >= 1`` always does; the id is
+    generated either way so unsampled requests still get a request id
+    in responses and error bodies.
+    """
+    sampled = rate >= 1.0 or (rate > 0.0 and random.random() < rate)
+    return new_context(sampled=sampled)
+
+
+def parse_traceparent(header: str | None) -> TraceContext | None:
+    """Parse a ``traceparent`` value; None for absent/malformed input.
+
+    Malformed headers are *dropped*, not errors — a bad upstream must
+    never fail a query.
+    """
+    if not header:
+        return None
+    parts = header.strip().split("-")
+    if len(parts) != 4:
+        return None
+    version, trace_id, span_id, flags = parts
+    if (
+        len(version) != 2
+        or len(trace_id) != 32
+        or len(span_id) != 16
+        or len(flags) != 2
+    ):
+        return None
+    try:
+        int(version, 16), int(trace_id, 16), int(span_id, 16), int(flags, 16)
+    except ValueError:
+        return None
+    if set(trace_id) == {"0"} or set(span_id) == {"0"}:
+        return None  # all-zero ids are invalid per the spec
+    return TraceContext(
+        trace_id=trace_id.lower(),
+        span_id=span_id.lower(),
+        sampled=bool(int(flags, 16) & 0x01),
+    )
+
+
+# ----------------------------------------------------------------------
+# In-process propagation (thread-local current context)
+# ----------------------------------------------------------------------
+_LOCAL = threading.local()
+
+
+def current_context() -> TraceContext | None:
+    """The context installed on this thread, if any."""
+    return getattr(_LOCAL, "context", None)
+
+
+@contextmanager
+def trace_scope(context: TraceContext | None):
+    """Install ``context`` as the current one for the block.
+
+    ``None`` is accepted and simply keeps the previous state, so
+    callers can propagate unconditionally (``with
+    trace_scope(maybe_ctx)``) without branching.
+    """
+    previous = getattr(_LOCAL, "context", None)
+    if context is not None:
+        _LOCAL.context = context
+    try:
+        yield context
+    finally:
+        _LOCAL.context = previous

@@ -121,6 +121,27 @@ def session(
         sess.close()
 
 
+def install(sess: ObsSession) -> ObsSession | None:
+    """Install ``sess`` as the active session with no scope.
+
+    For long-running processes (the HTTP server) where a ``with``
+    block is impractical; returns the previous session so callers can
+    :func:`uninstall` back to it.  Prefer :func:`session` everywhere
+    a block works.
+    """
+    global _SESSION
+    previous = _SESSION
+    _SESSION = sess
+    return previous
+
+
+def uninstall(sess: ObsSession, previous: ObsSession | None = None) -> None:
+    """Undo :func:`install` — only if ``sess`` is still the active one."""
+    global _SESSION
+    if _SESSION is sess:
+        _SESSION = previous
+
+
 # ----------------------------------------------------------------------
 # Fast-path instrumentation helpers (the API the library calls)
 # ----------------------------------------------------------------------
@@ -142,6 +163,25 @@ def incr(name: str, value: float = 1) -> None:
         sess.tracer.incr_current(name, value)
 
 
+def incr_each(names, value: float = 1) -> None:
+    """Bump several counters at once (one lock, one span lookup).
+
+    Equivalent to ``for n in names: incr(n, value)`` but resolves the
+    session, the metrics lock, and the innermost span a single time —
+    the form hot paths with a fixed counter set should use.
+    """
+    sess = _SESSION
+    if sess is None:
+        return
+    if sess.metrics is not None:
+        sess.metrics.incr_each(names, value)
+    if sess.tracer is not None:
+        span = sess.tracer.current()
+        if span is not None:
+            for name in names:
+                span.incr(name, value)
+
+
 def set_gauge(name: str, value: float) -> None:
     """Record the latest value of a session gauge."""
     sess = _SESSION
@@ -150,12 +190,17 @@ def set_gauge(name: str, value: float) -> None:
     sess.metrics.set_gauge(name, value)
 
 
-def observe(name: str, value: float) -> None:
-    """Fold one value into a session observation summary."""
+def observe(name: str, value: float, labels=None) -> None:
+    """Fold one value into a session observation (summary + histogram).
+
+    ``labels`` (a dict, or a pre-sorted tuple of pairs on hot paths)
+    selects the series — e.g. per planner path / dataset latency
+    histograms in the serving layer.
+    """
     sess = _SESSION
     if sess is None or sess.metrics is None:
         return
-    sess.metrics.observe(name, value)
+    sess.metrics.observe(name, value, labels)
 
 
 def record_draw(

@@ -17,11 +17,23 @@ from __future__ import annotations
 import threading
 from time import perf_counter
 
+from repro.obs import propagation
+
 
 class Span:
-    """One timed pipeline stage; also its own context manager."""
+    """One timed pipeline stage; also its own context manager.
 
-    __slots__ = ("name", "start", "duration", "children", "counters", "_tracer")
+    When a sampled :class:`~repro.obs.propagation.TraceContext` is
+    installed on the opening thread (a served request, say), the span
+    records its ``trace_id``, so every span a request triggers —
+    across the server handler, the engine pool, the planner and the
+    solver — carries the same id end to end.
+    """
+
+    __slots__ = (
+        "name", "start", "duration", "children", "counters", "trace_id",
+        "_tracer",
+    )
 
     def __init__(self, name: str, tracer: "Tracer | None" = None):
         self.name = name
@@ -29,10 +41,14 @@ class Span:
         self.duration = 0.0
         self.children: list[Span] = []
         self.counters: dict[str, float] = {}
+        self.trace_id: str | None = None
         self._tracer = tracer
 
     # -- context manager ------------------------------------------------
     def __enter__(self) -> "Span":
+        context = propagation.current_context()
+        if context is not None and context.sampled:
+            self.trace_id = context.trace_id
         if self._tracer is not None:
             self._tracer._push(self)
         self.start = perf_counter()
@@ -58,6 +74,8 @@ class Span:
     def to_dict(self) -> dict:
         """JSON-serialisable form (used by the JSON-lines exporter)."""
         out: dict = {"name": self.name, "duration": self.duration}
+        if self.trace_id is not None:
+            out["trace_id"] = self.trace_id
         if self.counters:
             out["counters"] = dict(self.counters)
         if self.children:
@@ -69,6 +87,7 @@ class Span:
         """Inverse of :meth:`to_dict` (round-trips through JSON)."""
         span = cls(data["name"])
         span.duration = float(data["duration"])
+        span.trace_id = data.get("trace_id")
         span.counters = dict(data.get("counters", {}))
         span.children = [cls.from_dict(c) for c in data.get("children", ())]
         return span

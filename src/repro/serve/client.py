@@ -17,9 +17,19 @@ with a default: ``QueryClient(url, dataset="adult")``::
     client.marginal((0, 3), dataset="msnbc")
     client.reload()                          # hot-swap new versions
 
-Server-side errors come back as the matching repro exceptions:
-``400``/``404`` → :class:`QueryError`, ``504`` →
-:class:`QueryTimeoutError`.
+Tracing: construct with ``trace=True`` (or ``trace_sample_rate=``) and
+every request carries a fresh ``traceparent`` header; the server
+adopts the trace id, tags its spans with it and echoes it back — read
+``client.last_trace`` after any call to correlate with server-side
+records.  An active :func:`repro.obs.trace_scope` on the calling
+thread takes precedence, so one trace id can span several calls.
+
+Server-side errors come back as typed exceptions carrying the
+structured body the server returned: ``504`` →
+:class:`~repro.exceptions.RemoteQueryTimeoutError` (also a
+:class:`QueryTimeoutError`), anything else ≥ 400 →
+:class:`~repro.exceptions.RemoteQueryError` with ``status``,
+``error_type``, ``request_id`` and ``trace_id`` attributes.
 """
 
 from __future__ import annotations
@@ -29,8 +39,9 @@ import urllib.error
 import urllib.request
 from urllib.parse import quote
 
-from repro.exceptions import QueryError, QueryTimeoutError
+from repro.exceptions import RemoteQueryError, RemoteQueryTimeoutError
 from repro.marginals.table import MarginalTable
+from repro.obs import propagation
 from repro.serve.protocol import decode_table
 
 
@@ -42,10 +53,18 @@ class QueryClient:
         base_url: str,
         timeout: float = 60.0,
         dataset: str | None = None,
+        trace: bool = False,
+        trace_sample_rate: float | None = None,
     ):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
         self.dataset = dataset
+        if trace_sample_rate is None:
+            trace_sample_rate = 1.0 if trace else 0.0
+        self.trace_sample_rate = float(trace_sample_rate)
+        #: The ``trace`` block of the most recent response (or the
+        #: error body's), e.g. ``{"trace_id", "request_id", "sampled"}``.
+        self.last_trace: dict | None = None
 
     def _query_path(self, action: str, dataset: str | None) -> str:
         """``/v1/marginal`` or ``/v1/d/{name}/marginal``."""
@@ -54,31 +73,57 @@ class QueryClient:
             return f"/v1/{action}"
         return f"/v1/d/{quote(dataset, safe='')}/{action}"
 
+    def _trace_context(self) -> propagation.TraceContext | None:
+        """The context to send: the calling thread's scope, else a
+        fresh head-sampled one, else None (no header)."""
+        current = propagation.current_context()
+        if current is not None:
+            return current.child()
+        if self.trace_sample_rate > 0:
+            return propagation.sampled_context(self.trace_sample_rate)
+        return None
+
     # ------------------------------------------------------------------
     def _request(self, path: str, payload: dict | None = None) -> dict:
         url = f"{self.base_url}{path}"
         data = None
         headers = {"Accept": "application/json"}
+        context = self._trace_context()
+        if context is not None:
+            headers[propagation.TRACEPARENT_HEADER] = context.traceparent
         if payload is not None:
             data = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
         request = urllib.request.Request(url, data=data, headers=headers)
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as resp:
-                return json.loads(resp.read())
+                body = json.loads(resp.read())
         except urllib.error.HTTPError as exc:
             raise self._decode_error(exc) from exc
+        if isinstance(body, dict):
+            self.last_trace = body.get("trace")
+        return body
 
-    @staticmethod
-    def _decode_error(exc: urllib.error.HTTPError) -> QueryError:
+    def _decode_error(self, exc: urllib.error.HTTPError) -> RemoteQueryError:
+        error_type = None
+        trace: dict = {}
         try:
-            detail = json.loads(exc.read())["error"]
-            message = f"{detail['type']}: {detail['message']}"
+            body = json.loads(exc.read())
+            detail = body["error"]
+            error_type = detail.get("type")
+            trace = body.get("trace") or {}
+            message = f"{error_type}: {detail['message']}"
         except Exception:
             message = f"HTTP {exc.code}"
-        if exc.code == 504:
-            return QueryTimeoutError(message)
-        return QueryError(f"server rejected request ({exc.code}): {message}")
+        self.last_trace = trace or None
+        cls = RemoteQueryTimeoutError if exc.code == 504 else RemoteQueryError
+        return cls(
+            f"server rejected request ({exc.code}): {message}",
+            status=exc.code,
+            error_type=error_type,
+            request_id=trace.get("request_id"),
+            trace_id=trace.get("trace_id"),
+        )
 
     # ------------------------------------------------------------------
     def healthz(self) -> dict:
@@ -86,6 +131,16 @@ class QueryClient:
 
     def stats(self) -> dict:
         return self._request("/stats")
+
+    def metrics(self) -> str:
+        """The server's raw Prometheus exposition text."""
+        url = f"{self.base_url}/metrics"
+        request = urllib.request.Request(url, headers={"Accept": "text/plain"})
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return resp.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            raise self._decode_error(exc) from exc
 
     def datasets(self) -> list[dict]:
         """Published datasets on a store-backed server."""

@@ -31,6 +31,7 @@ from repro.core.reconstruction import RECONSTRUCTION_METHODS, reconstruct
 from repro.exceptions import QueryError, QueryTimeoutError, ReproError
 from repro.kernels import indexcache
 from repro.marginals.table import MarginalTable
+from repro.obs import propagation
 from repro.serve.planner import (
     PATH_COVERED,
     PATH_DERIVED,
@@ -99,6 +100,11 @@ class QueryEngine:
         ``attach_engine``, as the synopsis does) so that
         ``synopsis.marginal(...)`` / ``marginals(...)`` route through
         it (and therefore through the cache).
+    dataset:
+        Label attached to this engine's latency histograms
+        (``serve.request_seconds{dataset=...,path=...}``) so a
+        store-backed server's ``/metrics`` splits per dataset.
+        Defaults to the source's ``name``, else ``"default"``.
     """
 
     def __init__(
@@ -109,6 +115,7 @@ class QueryEngine:
         default_method: str = "maxent",
         derive_from_cache: bool = True,
         attach: bool = False,
+        dataset: str | None = None,
     ):
         if default_method not in RECONSTRUCTION_METHODS:
             raise QueryError(
@@ -135,6 +142,36 @@ class QueryEngine:
         self._stats_lock = threading.Lock()
         self._requests = 0
         self._paths = {p: 0 for p in (PATH_COVERED, PATH_DERIVED, PATH_SOLVED, PATH_ERROR)}
+        self.dataset = dataset or getattr(source, "name", None) or "default"
+        # Pre-sorted label tuples so the hot path never builds or sorts
+        # a dict per request (see _normalize_labels' fast lane).
+        self._dataset_counter = f"serve.dataset.{self.dataset}"
+        self._request_labels = {
+            p: (("dataset", self.dataset), ("path", p))
+            for p in (PATH_COVERED, PATH_DERIVED, PATH_SOLVED, PATH_ERROR)
+        }
+        self._lookup_labels = {
+            outcome: (("dataset", self.dataset), ("outcome", outcome))
+            for outcome in ("hit", "miss")
+        }
+        # Counter-name tuples per (path, hit) so each request is one
+        # batched incr_each (one lock, one span lookup) instead of four
+        # separate incrs.
+        self._counter_names = {
+            (p, hit): (
+                "serve.request",
+                f"serve.path.{p}",
+                self._dataset_counter,
+                "serve.cache.hit" if hit else "serve.cache.miss",
+            )
+            for p in (PATH_COVERED, PATH_DERIVED, PATH_SOLVED)
+            for hit in (True, False)
+        }
+        self._error_counters = (
+            "serve.request",
+            f"serve.path.{PATH_ERROR}",
+            self._dataset_counter,
+        )
         if attach:
             attach_engine = getattr(source, "attach_engine", None)
             if callable(attach_engine):
@@ -174,7 +211,7 @@ class QueryEngine:
         method = self._method(method)
         if timeout is None:
             return self._answer(attrs, method, None)
-        future = self._pool.submit(self._answer, attrs, method, timeout)
+        future = self._submit_answer(attrs, method, timeout)
         try:
             return future.result(timeout)
         except _FuturesTimeout:
@@ -210,7 +247,7 @@ class QueryEngine:
         futures = {}
         for key in keys:
             if key not in futures:
-                futures[key] = self._pool.submit(self._answer, key[0], key[1], timeout)
+                futures[key] = self._submit_answer(key[0], key[1], timeout)
         results = {key: future.result(timeout) for key, future in futures.items()}
         out = []
         seen: set = set()
@@ -247,6 +284,21 @@ class QueryEngine:
             if key[1] == method
         }
 
+    def _submit_answer(self, attrs, method: str, wait_timeout):
+        """Submit ``_answer`` to the pool, carrying the caller's trace
+        context onto the worker thread (thread-locals don't cross
+        executor boundaries on their own)."""
+        context = propagation.current_context()
+        if context is None:
+            return self._pool.submit(self._answer, attrs, method, wait_timeout)
+        return self._pool.submit(
+            self._run_traced, context, attrs, method, wait_timeout
+        )
+
+    def _run_traced(self, context, attrs, method: str, wait_timeout):
+        with propagation.trace_scope(context):
+            return self._answer(attrs, method, wait_timeout)
+
     def _answer(self, attrs, method: str,
                 wait_timeout: float | None) -> QueryAnswer:
         start = perf_counter()
@@ -254,21 +306,46 @@ class QueryEngine:
             try:
                 target = self._planner.validate(attrs)
                 key = (target, method)
+                lookup_start = perf_counter()
                 entry, hit = self._cache.get_or_compute(
                     key, lambda: self._compute(target, method), wait_timeout
                 )
+                lookup_elapsed = perf_counter() - lookup_start
             except ReproError:
                 self._record(PATH_ERROR)
-                obs.incr("serve.request")
-                obs.incr(f"serve.path.{PATH_ERROR}")
+                obs.incr_each(self._error_counters)
+                obs.observe(
+                    "serve.request_seconds",
+                    perf_counter() - start,
+                    self._request_labels[PATH_ERROR],
+                )
                 raise
             elapsed = perf_counter() - start
             self._record(entry.path)
-            obs.incr("serve.request")
-            obs.incr(f"serve.path.{entry.path}")
-            obs.incr("serve.cache.hit" if hit else "serve.cache.miss")
-            obs.set_gauge("serve.cache.size", len(self._cache))
-            obs.observe("serve.request_seconds", elapsed)
+            obs.incr_each(self._counter_names[entry.path, hit])
+            obs.observe(
+                "serve.request_seconds", elapsed, self._request_labels[entry.path]
+            )
+            if not hit:
+                # The cache only changes size on a miss, so the gauge
+                # (and the lookup histogram) stay off the warm path.
+                obs.set_gauge("serve.cache.size", len(self._cache))
+                obs.observe(
+                    "serve.cache.lookup_seconds",
+                    lookup_elapsed,
+                    self._lookup_labels["miss"],
+                )
+            else:
+                # Hit-side lookup timing only for trace-sampled requests:
+                # the warm path is ~20µs end to end and an extra labeled
+                # observe per hit would show up in BENCH_serve.
+                context = propagation.current_context()
+                if context is not None and context.sampled:
+                    obs.observe(
+                        "serve.cache.lookup_seconds",
+                        lookup_elapsed,
+                        self._lookup_labels["hit"],
+                    )
         return QueryAnswer(
             attrs=target,
             method=method,
@@ -318,11 +395,28 @@ class QueryEngine:
             requests = self._requests
             paths = dict(self._paths)
         design = getattr(self.source, "design", None)
+        latency = None
+        sess = obs.current()
+        if sess is not None and sess.metrics is not None:
+            hist = sess.metrics.histogram(
+                "serve.request_seconds", {"dataset": self.dataset}
+            )
+            if hist is not None and hist.count:
+                latency = {
+                    "count": hist.count,
+                    "mean": hist.sum / hist.count,
+                    "p50": hist.quantile(0.5),
+                    "p90": hist.quantile(0.9),
+                    "p95": hist.quantile(0.95),
+                    "p99": hist.quantile(0.99),
+                }
         return {
             "requests": requests,
             "paths": paths,
+            "latency": latency,
             "cache": self._cache.stats(),
             "default_method": self.default_method,
+            "dataset": self.dataset,
             "synopsis": {
                 "name": getattr(self.source, "name", type(self.source).__name__),
                 "design": getattr(design, "notation", None),

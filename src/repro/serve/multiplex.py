@@ -153,7 +153,7 @@ class EngineRouter:
         except StoreError as exc:
             raise QueryError(str(exc)) from exc
         synopsis = self.store.load_version(info)
-        engine = QueryEngine(synopsis, **self._engine_kwargs)
+        engine = QueryEngine(synopsis, dataset=name, **self._engine_kwargs)
         obs.incr("serve.router.build")
         log.info("hosting %s (sha256 %s…)", info.spec, info.sha256[:12])
         return _Hosted(name, info, engine)
@@ -230,7 +230,9 @@ class EngineRouter:
                 continue
             replacement = _Hosted(
                 name, info, QueryEngine(
-                    self.store.load_version(info), **self._engine_kwargs
+                    self.store.load_version(info),
+                    dataset=name,
+                    **self._engine_kwargs,
                 )
             )
             with self._lock:

@@ -65,9 +65,17 @@ def decode_table(payload: dict) -> MarginalTable:
     )
 
 
-def encode_error(exc: BaseException) -> dict:
-    """The JSON payload for a failed request."""
-    return {"error": {"type": type(exc).__name__, "message": str(exc)}}
+def encode_error(exc: BaseException, trace: dict | None = None) -> dict:
+    """The JSON payload for a failed request.
+
+    ``trace`` (the server's per-request ``{"trace_id", "request_id",
+    "sampled"}`` block) rides along so clients can surface the ids in
+    :class:`~repro.exceptions.RemoteQueryError`.
+    """
+    body = {"error": {"type": type(exc).__name__, "message": str(exc)}}
+    if trace:
+        body["trace"] = dict(trace)
+    return body
 
 
 def _require_attrs(body: dict) -> tuple:

@@ -19,6 +19,20 @@ Store-backed (multi-dataset) endpoints, when constructed with
   newly published versions with zero dropped in-flight requests;
 * ``GET  /stats``       — router + store statistics.
 
+Telemetry endpoints (any mode):
+
+* ``GET /metrics`` — Prometheus text exposition of the active
+  metrics registry (request/path latency histograms labeled by
+  dataset and planner path, counters, gauges);
+
+every request gets a trace context — adopted from an incoming
+``traceparent`` header or head-sampled at ``trace_sample_rate`` —
+that is installed around the engine call (so spans and hit-side
+cache timings tag themselves with it), echoed in the JSON body under
+``"trace"`` and in the ``traceparent`` / ``X-Request-Id`` response
+headers, and recorded in a bounded in-process access log
+(:meth:`MarginalServer.access_log`).
+
 Built on :class:`http.server.ThreadingHTTPServer` (one thread per
 connection, daemonised), with per-request deadlines enforced through
 the engine (``504`` on miss), structured JSON error bodies, and
@@ -29,13 +43,18 @@ from __future__ import annotations
 
 import json
 import threading
+from collections import deque
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from time import monotonic
+from time import monotonic, perf_counter
 from urllib.parse import unquote
 
 from repro import obs
 from repro.exceptions import QueryError, QueryTimeoutError, ReproError
+from repro.obs import propagation
+from repro.obs.exporters import MetricsSnapshotWriter
 from repro.obs.log import get_logger
+from repro.obs.prometheus import render_prometheus
+from repro.obs.session import ObsSession
 from repro.serve.engine import QueryEngine
 from repro.serve.protocol import (
     encode_answer,
@@ -53,8 +72,15 @@ log = get_logger("serve")
 
 
 class _Handler(BaseHTTPRequestHandler):
-    server_version = "repro-serve/1.1"
+    server_version = "repro-serve/1.2"
     protocol_version = "HTTP/1.1"
+
+    # Per-request trace state (reset in _handle; one handler instance
+    # serves a keep-alive connection sequentially, so plain instance
+    # attributes are safe).
+    _context: propagation.TraceContext | None = None
+    _trace: dict | None = None
+    _status: int | None = None
 
     # -- plumbing -------------------------------------------------------
     @property
@@ -68,16 +94,34 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
         log.debug("%s %s", self.address_string(), format % args)
 
-    def _send_json(self, status: int, payload: dict) -> None:
-        body = json.dumps(payload).encode("utf-8")
+    def _send_body(self, status: int, body: bytes, content_type: str) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        if self._context is not None:
+            self.send_header(
+                propagation.TRACEPARENT_HEADER, self._context.traceparent
+            )
+            self.send_header(
+                propagation.REQUEST_ID_HEADER, self._context.span_id
+            )
         self.end_headers()
         self.wfile.write(body)
+        self._status = status
+
+    def _send_json(self, status: int, payload) -> None:
+        if (
+            isinstance(payload, dict)
+            and self._trace is not None
+            and "trace" not in payload
+        ):
+            payload = {**payload, "trace": self._trace}
+        self._send_body(
+            status, json.dumps(payload).encode("utf-8"), "application/json"
+        )
 
     def _send_error(self, status: int, exc: BaseException) -> None:
-        self._send_json(status, encode_error(exc))
+        self._send_json(status, encode_error(exc, self._trace))
 
     def _read_json(self):
         length = int(self.headers.get("Content-Length") or 0)
@@ -92,9 +136,74 @@ class _Handler(BaseHTTPRequestHandler):
             raise QueryError(f"invalid JSON body: {exc}") from exc
 
     # -- routes ---------------------------------------------------------
+    def _trace_context(self) -> propagation.TraceContext:
+        """Adopt the caller's ``traceparent`` or head-sample a new one.
+
+        An adopted context keeps the caller's sampling decision; a
+        fresh one is sampled at the server's ``trace_sample_rate``.
+        Either way the request gets ids, so responses and the access
+        log always carry a request id.
+        """
+        parent = propagation.parse_traceparent(
+            self.headers.get(propagation.TRACEPARENT_HEADER)
+        )
+        if parent is not None:
+            return parent.child()
+        return propagation.sampled_context(self.server.trace_sample_rate)
+
     def do_GET(self):  # noqa: N802 - stdlib naming
+        self._handle("GET", self._route_get)
+
+    def do_POST(self):  # noqa: N802 - stdlib naming
+        self._handle("POST", self._route_post)
+
+    def _handle(self, verb: str, route) -> None:
+        start = perf_counter()
+        context = self._trace_context()
+        self._context = context
+        self._trace = {
+            "trace_id": context.trace_id,
+            "request_id": context.span_id,
+            "sampled": context.sampled,
+        }
+        self._status = None
+        try:
+            with propagation.trace_scope(context):
+                route()
+        except QueryTimeoutError as exc:
+            self._send_error(504, exc)
+        except ReproError as exc:
+            # malformed attrs, unknown method, unanswerable query, ...
+            self._send_error(400 if not _is_not_found(exc) else 404, exc)
+        except Exception as exc:  # pragma: no cover - defensive
+            log.exception("internal error serving %s", self.path)
+            self._send_error(500, exc)
+        finally:
+            self.server.record_access({
+                "method": verb,
+                "path": self.path,
+                "status": self._status,
+                "duration_s": perf_counter() - start,
+                "trace_id": context.trace_id,
+                "request_id": context.span_id,
+                "sampled": context.sampled,
+            })
+
+    def _route_get(self) -> None:
         if self.path == "/healthz":
             self._send_json(200, self.server.health_payload())
+        elif self.path == "/metrics":
+            sess = obs.current()
+            snapshot = (
+                sess.metrics.snapshot()
+                if sess is not None and sess.metrics is not None
+                else {}
+            )
+            self._send_body(
+                200,
+                render_prometheus(snapshot).encode("utf-8"),
+                "text/plain; version=0.0.4; charset=utf-8",
+            )
         elif self.path == "/stats":
             if self.router is not None:
                 payload = self.router.stats()
@@ -118,38 +227,29 @@ class _Handler(BaseHTTPRequestHandler):
             return None
         return unquote(name), action
 
-    def do_POST(self):  # noqa: N802 - stdlib naming
-        try:
-            if self.path == "/v1/reload":
-                if self.router is None:
-                    raise QueryError(
-                        "this server hosts a single source; /v1/reload "
-                        "needs a store-backed server (repro store serve)"
-                    )
-                self._send_json(200, self.router.reload())
-                return
-            routed = self._split_dataset_path(self.path)
-            if routed is not None:
-                self._dispatch_dataset(*routed)
-                return
-            if self.path in ("/v1/marginal", "/v1/batch"):
-                if self.engine is None:
-                    raise QueryError(
-                        "this server hosts a synopsis store; query "
-                        "per-dataset paths /v1/d/{name}/marginal or "
-                        "/v1/d/{name}/batch (GET /v1/datasets lists them)"
-                    )
-                self._dispatch(self.engine, self.path.rsplit("/", 1)[1])
-                return
-            self._send_error(404, QueryError(f"unknown path {self.path!r}"))
-        except QueryTimeoutError as exc:
-            self._send_error(504, exc)
-        except ReproError as exc:
-            # malformed attrs, unknown method, unanswerable query, ...
-            self._send_error(400 if not _is_not_found(exc) else 404, exc)
-        except Exception as exc:  # pragma: no cover - defensive
-            log.exception("internal error serving %s", self.path)
-            self._send_error(500, exc)
+    def _route_post(self) -> None:
+        if self.path == "/v1/reload":
+            if self.router is None:
+                raise QueryError(
+                    "this server hosts a single source; /v1/reload "
+                    "needs a store-backed server (repro store serve)"
+                )
+            self._send_json(200, self.router.reload())
+            return
+        routed = self._split_dataset_path(self.path)
+        if routed is not None:
+            self._dispatch_dataset(*routed)
+            return
+        if self.path in ("/v1/marginal", "/v1/batch"):
+            if self.engine is None:
+                raise QueryError(
+                    "this server hosts a synopsis store; query "
+                    "per-dataset paths /v1/d/{name}/marginal or "
+                    "/v1/d/{name}/batch (GET /v1/datasets lists them)"
+                )
+            self._dispatch(self.engine, self.path.rsplit("/", 1)[1])
+            return
+        self._send_error(404, QueryError(f"unknown path {self.path!r}"))
 
     def _dispatch_dataset(self, name: str, action: str) -> None:
         if self.router is None:
@@ -157,7 +257,8 @@ class _Handler(BaseHTTPRequestHandler):
                 "this server hosts a single source; query /v1/marginal "
                 "or /v1/batch instead of per-dataset paths"
             )
-        obs.incr(f"serve.dataset.{name}")
+        # Per-dataset request counting happens in the engine (which
+        # knows its dataset label even for single-source servers).
         with self.router.lease(name) as engine:
             if action == "stats":
                 self._send_json(200, engine.stats())
@@ -201,6 +302,23 @@ class MarginalServer:
     Use as a context manager, or call :meth:`start` /
     :meth:`serve_forever` and :meth:`shutdown` explicitly.  Pass
     ``port=0`` to bind an ephemeral port (see :attr:`address`).
+
+    Telemetry knobs:
+
+    * ``trace_sample_rate`` — head-sampling probability for requests
+      arriving without a ``traceparent`` header (0 disables span
+      tagging and hit-side cache timing; ids are still issued);
+    * ``access_log_size`` — bound of the in-process access log ring
+      (:meth:`access_log`);
+    * ``metrics_out`` / ``metrics_interval_s`` — when set, a
+      :class:`~repro.obs.exporters.MetricsSnapshotWriter` appends
+      JSON-lines metrics snapshots there for the server's lifetime.
+
+    When no :func:`repro.obs.session` is active at :meth:`start`, the
+    server installs its own metrics-only session (no tracer, so root
+    spans never accumulate unboundedly) and uninstalls it on
+    :meth:`shutdown` — ``GET /metrics`` therefore always has a
+    registry to expose.
     """
 
     def __init__(
@@ -212,6 +330,10 @@ class MarginalServer:
         own_engine: bool = True,
         store=None,
         router=None,
+        trace_sample_rate: float = 0.0,
+        access_log_size: int = 256,
+        metrics_out=None,
+        metrics_interval_s: float = 10.0,
         **router_kwargs,
     ):
         if sum(x is not None for x in (engine, store, router)) != 1:
@@ -230,11 +352,21 @@ class MarginalServer:
         self.engine = engine
         self.router = router
         self._own_engine = own_engine
+        self.trace_sample_rate = float(trace_sample_rate)
+        self._access: deque = deque(maxlen=int(access_log_size))
+        self._access_lock = threading.Lock()
+        self._metrics_out = metrics_out
+        self._metrics_interval_s = float(metrics_interval_s)
+        self._metrics_writer: MetricsSnapshotWriter | None = None
+        self._obs_session: ObsSession | None = None
+        self._obs_previous: ObsSession | None = None
         self._httpd = ThreadingHTTPServer((host, port), _Handler)
         self._httpd.daemon_threads = True
         self._httpd.engine = engine
         self._httpd.router = router
         self._httpd.request_timeout = request_timeout
+        self._httpd.trace_sample_rate = self.trace_sample_rate
+        self._httpd.record_access = self._record_access
         self._httpd.health_payload = self._health_payload
         self._httpd.server_payload = self._server_payload
         self._thread: threading.Thread | None = None
@@ -280,12 +412,48 @@ class MarginalServer:
             "host": host,
             "port": port,
             "request_timeout_s": self._httpd.request_timeout,
+            "trace_sample_rate": self.trace_sample_rate,
             "uptime_s": monotonic() - self._started_at,
         }
 
     # ------------------------------------------------------------------
+    def _record_access(self, record: dict) -> None:
+        with self._access_lock:
+            self._access.append(record)
+
+    def access_log(self) -> list[dict]:
+        """The most recent requests (bounded ring), oldest first.
+
+        Each record: method, path, status, duration_s, trace_id,
+        request_id, sampled.
+        """
+        with self._access_lock:
+            return list(self._access)
+
+    def _telemetry_up(self) -> None:
+        if not obs.enabled():
+            self._obs_session = ObsSession(
+                trace=False, metrics=True, ledger=False
+            )
+            self._obs_previous = obs.install(self._obs_session)
+        if self._metrics_out is not None and self._metrics_writer is None:
+            self._metrics_writer = MetricsSnapshotWriter(
+                self._metrics_out, interval_s=self._metrics_interval_s
+            ).start()
+
+    def _telemetry_down(self) -> None:
+        if self._metrics_writer is not None:
+            self._metrics_writer.stop()
+            self._metrics_writer = None
+        if self._obs_session is not None:
+            obs.uninstall(self._obs_session, self._obs_previous)
+            self._obs_session = None
+            self._obs_previous = None
+
+    # ------------------------------------------------------------------
     def start(self) -> "MarginalServer":
         """Serve on a background daemon thread; returns self."""
+        self._telemetry_up()
         self._thread = threading.Thread(
             target=self._httpd.serve_forever,
             name="repro-serve-http",
@@ -297,6 +465,7 @@ class MarginalServer:
 
     def serve_forever(self) -> None:
         """Serve on the calling thread until :meth:`shutdown`."""
+        self._telemetry_up()
         log.info("serving on %s", self.url)
         self._httpd.serve_forever()
 
@@ -311,6 +480,7 @@ class MarginalServer:
             self.router.close()
         if self.engine is not None and self._own_engine:
             self.engine.close()
+        self._telemetry_down()
 
     def __enter__(self) -> "MarginalServer":
         return self.start()
@@ -325,6 +495,9 @@ def serve_source(
     host: str = DEFAULT_HOST,
     port: int = DEFAULT_PORT,
     request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
+    trace_sample_rate: float = 0.0,
+    metrics_out=None,
+    metrics_interval_s: float = 10.0,
     **engine_kwargs,
 ) -> MarginalServer:
     """Build an engine for any marginal source and wrap it in an
@@ -343,7 +516,13 @@ def serve_source(
         source = load_synopsis(source)
     engine = QueryEngine(source, attach=True, **engine_kwargs)
     return MarginalServer(
-        engine, host=host, port=port, request_timeout=request_timeout
+        engine,
+        host=host,
+        port=port,
+        request_timeout=request_timeout,
+        trace_sample_rate=trace_sample_rate,
+        metrics_out=metrics_out,
+        metrics_interval_s=metrics_interval_s,
     )
 
 
@@ -354,6 +533,9 @@ def serve_store(
     request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
     max_engines: int | None = None,
     watch: bool = False,
+    trace_sample_rate: float = 0.0,
+    metrics_out=None,
+    metrics_interval_s: float = 10.0,
     **engine_kwargs,
 ) -> MarginalServer:
     """Serve every dataset of a synopsis store from one process.
@@ -373,7 +555,13 @@ def serve_store(
         **engine_kwargs,
     )
     return MarginalServer(
-        router=router, host=host, port=port, request_timeout=request_timeout
+        router=router,
+        host=host,
+        port=port,
+        request_timeout=request_timeout,
+        trace_sample_rate=trace_sample_rate,
+        metrics_out=metrics_out,
+        metrics_interval_s=metrics_interval_s,
     )
 
 

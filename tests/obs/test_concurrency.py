@@ -1,0 +1,134 @@
+"""Thread-safety of the metrics registry and the snapshot writer."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.exporters import MetricsSnapshotWriter, read_metrics_snapshots
+from repro.obs.metrics import MetricsRegistry
+
+THREADS = 16
+PER_THREAD = 500
+
+
+def hammer(worker) -> None:
+    """Run ``worker(thread_index)`` on THREADS threads, start-aligned."""
+    barrier = threading.Barrier(THREADS)
+    errors = []
+
+    def run(index: int) -> None:
+        barrier.wait()
+        try:
+            worker(index)
+        except Exception as exc:  # pragma: no cover - fails the test
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=run, args=(i,)) for i in range(THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+
+
+class TestRegistryUnderContention:
+    def test_no_lost_counter_increments(self):
+        registry = MetricsRegistry()
+
+        def worker(index):
+            for _ in range(PER_THREAD):
+                registry.incr("hits")
+                registry.incr(f"per_thread.{index}")
+
+        hammer(worker)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["hits"] == THREADS * PER_THREAD
+        for index in range(THREADS):
+            assert snapshot["counters"][f"per_thread.{index}"] == PER_THREAD
+
+    def test_no_lost_histogram_observations(self):
+        registry = MetricsRegistry()
+
+        def worker(index):
+            labels = {"thread": str(index % 4)}
+            for i in range(PER_THREAD):
+                registry.observe("lat", 0.001 * (1 + i % 7), labels)
+
+        hammer(worker)
+        merged = registry.histogram("lat")
+        assert merged.count == THREADS * PER_THREAD
+        rec = registry.observation("lat")
+        assert rec["count"] == THREADS * PER_THREAD
+        # per-series counts also add up exactly
+        total = sum(
+            registry.observation("lat", {"thread": str(t)})["count"]
+            for t in range(4)
+        )
+        assert total == THREADS * PER_THREAD
+
+    def test_gauges_keep_a_valid_last_write(self):
+        registry = MetricsRegistry()
+
+        def worker(index):
+            for i in range(PER_THREAD):
+                registry.set_gauge("level", index * PER_THREAD + i)
+
+        hammer(worker)
+        value = registry.snapshot()["gauges"]["level"]
+        assert 0 <= value < THREADS * PER_THREAD
+
+
+class TestSnapshotWriterUnderContention:
+    def test_concurrent_write_now_never_tears_lines(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.observe("lat", 0.01, {"path": "solved"})
+        path = tmp_path / "metrics.jsonl"
+        writer = MetricsSnapshotWriter(path, registry=registry)
+
+        def worker(index):
+            for _ in range(50):
+                registry.incr("hits")
+                writer.write_now()
+
+        hammer(worker)
+        writer.stop()
+
+        # every line parses on its own (no torn or interleaved writes)
+        lines = path.read_text().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert len(records) == THREADS * 50 + 1  # + final stop() record
+        assert all(r["type"] == "metrics_snapshot" for r in records)
+        # seq is a gap-free permutation: every write landed exactly once
+        assert sorted(r["seq"] for r in records) == list(
+            range(1, len(records) + 1)
+        )
+        final = read_metrics_snapshots(path)[-1]
+        assert final["counters"]["hits"] == THREADS * 50
+
+    def test_background_thread_and_stop_flush(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.incr("ticks")
+        path = tmp_path / "metrics.jsonl"
+        with MetricsSnapshotWriter(
+            path, registry=registry, interval_s=0.01
+        ):
+            deadline = threading.Event()
+            deadline.wait(0.15)
+        records = read_metrics_snapshots(path)
+        assert records  # periodic + final flush
+        assert records[-1]["counters"]["ticks"] == 1
+
+    def test_registry_none_resolves_active_session(self, tmp_path):
+        import repro.obs as obs
+
+        path = tmp_path / "metrics.jsonl"
+        writer = MetricsSnapshotWriter(path)
+        with obs.session(trace=False, ledger=False):
+            obs.incr("inside")
+            assert writer.write_now()["counters"]["inside"] == 1
+        writer.stop()

@@ -1,0 +1,151 @@
+"""Histogram metrics: buckets, quantiles, labels, snapshots."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestHistogram:
+    def test_buckets_are_log_spaced(self):
+        ratios = [
+            b / a for a, b in zip(DEFAULT_BUCKETS, DEFAULT_BUCKETS[1:])
+        ]
+        assert all(r == pytest.approx(2.0) for r in ratios)
+        assert DEFAULT_BUCKETS[0] == pytest.approx(1e-6)
+        assert DEFAULT_BUCKETS[-1] > 60  # covers the whole latency range
+
+    def test_record_and_summary(self):
+        hist = Histogram()
+        for value in (0.001, 0.002, 0.004, 0.1):
+            hist.record(value)
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(0.107)
+        assert hist.min == pytest.approx(0.001)
+        assert hist.max == pytest.approx(0.1)
+
+    def test_quantiles_accurate_within_bucket_resolution(self):
+        rng = np.random.default_rng(7)
+        values = rng.lognormal(mean=-7.0, sigma=1.0, size=20_000)
+        hist = Histogram()
+        for value in values:
+            hist.record(value)
+        for q in (0.5, 0.9, 0.95, 0.99):
+            exact = float(np.quantile(values, q))
+            estimate = hist.quantile(q)
+            # factor-2 buckets bound the relative error to one bucket
+            assert exact / 2 <= estimate <= exact * 2
+
+    def test_quantile_clamped_to_observed_range(self):
+        hist = Histogram()
+        hist.record(0.5)
+        assert hist.quantile(0.0) == pytest.approx(0.5)
+        assert hist.quantile(1.0) == pytest.approx(0.5)
+
+    def test_empty_quantile_is_none(self):
+        assert Histogram().quantile(0.95) is None
+
+    def test_merge_accumulates(self):
+        a, b = Histogram(), Histogram()
+        for value in (0.001, 0.01):
+            a.record(value)
+        for value in (0.1, 1.0):
+            b.record(value)
+        a.merge(b)
+        assert a.count == 4
+        assert a.max == pytest.approx(1.0)
+        assert a.min == pytest.approx(0.001)
+
+    def test_merge_rejects_mismatched_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram((1.0,)).merge(Histogram((2.0,)))
+
+    def test_dict_round_trip_is_json_stable(self):
+        hist = Histogram()
+        for value in (1e-7, 0.003, 0.5, 120.0):  # under/over-flow too
+            hist.record(value)
+        data = json.loads(json.dumps(hist.to_dict()))
+        back = Histogram.from_dict(data)
+        assert back.count == hist.count
+        assert back.sum == pytest.approx(hist.sum)
+        assert back.quantile(0.5) == pytest.approx(hist.quantile(0.5))
+
+    def test_overflow_lands_in_inf_bucket(self):
+        hist = Histogram()
+        hist.record(1e9)
+        buckets = dict(hist.to_dict()["buckets"])
+        assert buckets.get(None) == 1
+        assert hist.quantile(0.99) == pytest.approx(1e9)  # max clamp
+
+
+class TestLabeledRegistry:
+    def test_series_split_and_merged_views(self):
+        registry = MetricsRegistry()
+        registry.observe("lat", 0.001, {"path": "covered"})
+        registry.observe("lat", 0.002, {"path": "covered"})
+        registry.observe("lat", 0.100, {"path": "solved"})
+        covered = registry.observation("lat", {"path": "covered"})
+        assert covered["count"] == 2
+        merged = registry.observation("lat")  # labels=None merges all
+        assert merged["count"] == 3
+        assert merged["max"] == pytest.approx(0.100)
+
+    def test_label_order_is_canonical(self):
+        registry = MetricsRegistry()
+        registry.observe("lat", 1.0, {"b": "2", "a": "1"})
+        registry.observe("lat", 2.0, {"a": "1", "b": "2"})
+        assert registry.observation("lat", {"a": "1", "b": "2"})["count"] == 2
+
+    def test_presorted_tuple_fast_path(self):
+        registry = MetricsRegistry()
+        registry.observe("lat", 1.0, (("a", "1"), ("b", "2")))
+        assert registry.observation("lat", {"b": "2"})["count"] == 1
+
+    def test_subset_label_match(self):
+        registry = MetricsRegistry()
+        registry.observe("lat", 1.0, {"dataset": "x", "path": "covered"})
+        registry.observe("lat", 2.0, {"dataset": "x", "path": "solved"})
+        registry.observe("lat", 3.0, {"dataset": "y", "path": "solved"})
+        assert registry.observation("lat", {"dataset": "x"})["count"] == 2
+        assert registry.observation("lat", {"path": "solved"})["count"] == 2
+
+    def test_merged_histogram_quantile(self):
+        registry = MetricsRegistry()
+        for _ in range(99):
+            registry.observe("lat", 0.001, {"path": "covered"})
+        registry.observe("lat", 10.0, {"path": "solved"})
+        merged = registry.histogram("lat")
+        assert merged.count == 100
+        assert merged.quantile(0.5) == pytest.approx(0.001, rel=1.0)
+        assert merged.quantile(0.999) > 1.0
+
+    def test_snapshot_contains_labeled_histograms(self):
+        registry = MetricsRegistry()
+        registry.incr("requests")
+        registry.set_gauge("size", 3)
+        registry.observe("lat", 0.01, {"path": "solved"})
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["requests"] == 1
+        assert snapshot["gauges"]["size"] == 3
+        (key,) = [k for k in snapshot["histograms"] if "solved" in k]
+        hist = snapshot["histograms"][key]
+        assert hist["metric"] == "lat"
+        assert hist["labels"] == {"path": "solved"}
+        assert hist["count"] == 1
+        assert not math.isnan(hist["p95"])
+
+    def test_observation_backward_compat_summary_fields(self):
+        registry = MetricsRegistry()
+        registry.observe("lat", 2.0)
+        rec = registry.observation("lat")
+        assert set(rec) >= {"count", "sum", "min", "max", "mean"}
+        assert rec["mean"] == pytest.approx(2.0)

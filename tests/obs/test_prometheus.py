@@ -1,0 +1,121 @@
+"""Prometheus exposition: render, parse, quantiles from buckets."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.prometheus import (
+    histogram_quantile,
+    parse_prometheus,
+    render_prometheus,
+    sanitize_name,
+)
+
+
+@pytest.fixture
+def registry():
+    registry = MetricsRegistry()
+    registry.incr("serve.request", 5)
+    registry.incr("serve.path.covered", 3)
+    registry.incr("serve.path.solved", 2)
+    registry.incr("serve.dataset.adult", 5)
+    registry.set_gauge("serve.cache.size", 17)
+    for value in (0.0001, 0.0002, 0.004, 0.03):
+        registry.observe(
+            "serve.request_seconds", value,
+            {"dataset": "adult", "path": "covered"},
+        )
+    registry.observe(
+        "serve.request_seconds", 0.2, {"dataset": "adult", "path": "solved"}
+    )
+    return registry
+
+
+class TestRender:
+    def test_sanitize(self):
+        assert sanitize_name("serve.request_seconds") == "serve_request_seconds"
+        assert sanitize_name("9bad name") == "_9bad_name"
+
+    def test_counters_and_gauges(self, registry):
+        text = render_prometheus(registry.snapshot())
+        assert "# TYPE serve_request_total counter" in text
+        assert "serve_request_total 5" in text
+        assert "# TYPE serve_cache_size gauge" in text
+        assert "serve_cache_size 17" in text
+
+    def test_dotted_path_counters_become_labels(self, registry):
+        text = render_prometheus(registry.snapshot())
+        assert 'serve_path_requests_total{path="covered"} 3' in text
+        assert 'serve_path_requests_total{path="solved"} 2' in text
+        assert 'serve_dataset_requests_total{dataset="adult"} 5' in text
+
+    def test_histogram_family(self, registry):
+        text = render_prometheus(registry.snapshot())
+        assert "# TYPE serve_request_seconds histogram" in text
+        assert 'le="+Inf"' in text
+        assert "serve_request_seconds_count" in text
+        assert "serve_request_seconds_sum" in text
+        # buckets are cumulative within each labeled series
+        families = parse_prometheus(text)
+        samples = families["serve_request_seconds"]["samples"]
+        covered = sorted(
+            (
+                math.inf if labels["le"] == "+Inf" else float(labels["le"]),
+                value,
+            )
+            for name, labels, value in samples
+            if name.endswith("_bucket") and labels.get("path") == "covered"
+        )
+        counts = [count for _, count in covered]
+        assert counts == sorted(counts)
+        assert counts[-1] == 4
+
+
+class TestParse:
+    def test_round_trip(self, registry):
+        families = parse_prometheus(render_prometheus(registry.snapshot()))
+        assert families["serve_request_total"]["type"] == "counter"
+        assert families["serve_request_seconds"]["type"] == "histogram"
+        (sample,) = families["serve_cache_size"]["samples"]
+        assert sample == ("serve_cache_size", {}, 17.0)
+
+    def test_malformed_sample_raises(self):
+        with pytest.raises(ValueError):
+            parse_prometheus("this is not { a metric\n")
+
+    def test_malformed_value_raises(self):
+        with pytest.raises(ValueError):
+            parse_prometheus("metric_name garbage\n")
+
+    def test_escaped_labels(self):
+        text = 'm{k="a\\"b"} 1\n'
+        families = parse_prometheus(text)
+        (sample,) = families["m"]["samples"]
+        assert sample[1] == {"k": 'a"b'}
+
+
+class TestHistogramQuantile:
+    def test_matches_internal_quantile_within_bucket(self, registry):
+        families = parse_prometheus(render_prometheus(registry.snapshot()))
+        samples = families["serve_request_seconds"]["samples"]
+        scraped = histogram_quantile(samples, 0.95)
+        internal = registry.histogram("serve.request_seconds").quantile(0.95)
+        assert internal / 2 <= scraped <= internal * 2
+
+    def test_sums_across_label_sets(self):
+        samples = [
+            ("m_bucket", {"path": "a", "le": "1"}, 5.0),
+            ("m_bucket", {"path": "a", "le": "+Inf"}, 5.0),
+            ("m_bucket", {"path": "b", "le": "1"}, 0.0),
+            ("m_bucket", {"path": "b", "le": "+Inf"}, 5.0),
+        ]
+        # half the mass below 1, half above: p25 inside [0, 1]
+        assert 0 < histogram_quantile(samples, 0.25) <= 1
+        # p95 in the +Inf bucket clamps to the last finite bound
+        assert histogram_quantile(samples, 0.95) == pytest.approx(1.0)
+
+    def test_empty_is_none(self):
+        assert histogram_quantile([], 0.5) is None

@@ -1,0 +1,164 @@
+"""The bench regression gate: doctored results must fail the build."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+SCRIPT = REPO / "scripts" / "check_bench_regression.py"
+
+_spec = importlib.util.spec_from_file_location("check_bench_regression", SCRIPT)
+gate = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(gate)
+
+GOOD_SERVE = {
+    "benchmark": "serve_test",
+    "warm": {"qps": 50_000.0, "mean_ms": 0.02},
+    "speedup_warm_vs_cold_solved": 90.0,
+}
+
+
+@pytest.fixture
+def dirs(tmp_path):
+    bench = tmp_path / "bench"
+    baseline = tmp_path / "baseline"
+    bench.mkdir()
+    baseline.mkdir()
+    (baseline / "BENCH_serve.json").write_text(json.dumps(GOOD_SERVE))
+    return bench, baseline, tmp_path / "history.jsonl"
+
+
+def run_gate(bench, baseline, history, *names):
+    return gate.main([
+        *names,
+        "--bench-dir", str(bench),
+        "--baseline-dir", str(baseline),
+        "--history", str(history),
+    ])
+
+
+class TestGateVerdicts:
+    def test_identical_results_pass(self, dirs, capsys):
+        bench, baseline, history = dirs
+        (bench / "BENCH_serve.json").write_text(json.dumps(GOOD_SERVE))
+        assert run_gate(bench, baseline, history, "BENCH_serve.json") == 0
+        assert "FAIL" not in capsys.readouterr().out
+
+    def test_doctored_throughput_fails(self, dirs, capsys):
+        bench, baseline, history = dirs
+        doctored = json.loads(json.dumps(GOOD_SERVE))
+        doctored["warm"]["qps"] = 5_000.0  # 10x collapse: way past tolerance
+        (bench / "BENCH_serve.json").write_text(json.dumps(doctored))
+        assert run_gate(bench, baseline, history, "BENCH_serve.json") == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_doctored_latency_fails(self, dirs):
+        bench, baseline, history = dirs
+        doctored = json.loads(json.dumps(GOOD_SERVE))
+        doctored["warm"]["mean_ms"] = 1.0  # 50x slower than baseline
+        (bench / "BENCH_serve.json").write_text(json.dumps(doctored))
+        assert run_gate(bench, baseline, history, "BENCH_serve.json") == 1
+
+    def test_noise_within_tolerance_passes(self, dirs):
+        bench, baseline, history = dirs
+        noisy = json.loads(json.dumps(GOOD_SERVE))
+        noisy["warm"]["qps"] *= 0.7  # -30%, inside the 50% tolerance
+        noisy["warm"]["mean_ms"] *= 1.5
+        (bench / "BENCH_serve.json").write_text(json.dumps(noisy))
+        assert run_gate(bench, baseline, history, "BENCH_serve.json") == 0
+
+    def test_missing_baseline_fails(self, dirs):
+        bench, baseline, history = dirs
+        (baseline / "BENCH_serve.json").unlink()
+        (bench / "BENCH_serve.json").write_text(json.dumps(GOOD_SERVE))
+        assert run_gate(bench, baseline, history, "BENCH_serve.json") == 1
+
+    def test_missing_metric_fails(self, dirs):
+        bench, baseline, history = dirs
+        partial = json.loads(json.dumps(GOOD_SERVE))
+        del partial["speedup_warm_vs_cold_solved"]
+        (bench / "BENCH_serve.json").write_text(json.dumps(partial))
+        assert run_gate(bench, baseline, history, "BENCH_serve.json") == 1
+
+    def test_no_fresh_files_is_usage_error(self, dirs):
+        bench, baseline, history = dirs
+        assert run_gate(bench, baseline, history) == 2
+
+    def test_unknown_benchmark_is_usage_error(self, dirs):
+        bench, baseline, history = dirs
+        assert run_gate(bench, baseline, history, "BENCH_bogus.json") == 2
+
+
+class TestHistory:
+    def test_every_run_appends_a_record(self, dirs):
+        bench, baseline, history = dirs
+        (bench / "BENCH_serve.json").write_text(json.dumps(GOOD_SERVE))
+        run_gate(bench, baseline, history, "BENCH_serve.json")
+        doctored = json.loads(json.dumps(GOOD_SERVE))
+        doctored["warm"]["qps"] = 1.0
+        (bench / "BENCH_serve.json").write_text(json.dumps(doctored))
+        run_gate(bench, baseline, history, "BENCH_serve.json")
+
+        records = [
+            json.loads(line) for line in history.read_text().splitlines()
+        ]
+        assert len(records) == 2
+        assert [r["ok"] for r in records] == [True, False]
+        assert all(r["type"] == "bench_regression_check" for r in records)
+        assert all(r["bench"] == "BENCH_serve.json" for r in records)
+        failed = records[1]["metrics"]["warm/qps"]
+        assert failed["ok"] is False
+        assert failed["ratio"] < 0.1
+
+    def test_no_history_flag_suppresses_writes(self, dirs):
+        bench, baseline, history = dirs
+        (bench / "BENCH_serve.json").write_text(json.dumps(GOOD_SERVE))
+        assert gate.main([
+            "BENCH_serve.json",
+            "--bench-dir", str(bench),
+            "--baseline-dir", str(baseline),
+            "--history", str(history),
+            "--no-history",
+        ]) == 0
+        assert not history.exists()
+
+
+class TestCustomChecks:
+    def test_checks_override_file(self, dirs, tmp_path):
+        bench, baseline, history = dirs
+        checks = tmp_path / "checks.json"
+        checks.write_text(json.dumps(
+            {"BENCH_custom.json": [["score", "higher", 0.1]]}
+        ))
+        (baseline / "BENCH_custom.json").write_text('{"score": 100}')
+        (bench / "BENCH_custom.json").write_text('{"score": 50}')
+        assert gate.main([
+            "--bench-dir", str(bench),
+            "--baseline-dir", str(baseline),
+            "--history", str(history),
+            "--checks", str(checks),
+        ]) == 1
+
+
+class TestProcessExitCode:
+    def test_subprocess_exit_is_nonzero_on_doctored_file(self, dirs):
+        # the CI contract is the literal process exit status
+        bench, baseline, history = dirs
+        doctored = json.loads(json.dumps(GOOD_SERVE))
+        doctored["warm"]["qps"] = 1.0
+        (bench / "BENCH_serve.json").write_text(json.dumps(doctored))
+        proc = subprocess.run(
+            [sys.executable, str(SCRIPT), "BENCH_serve.json",
+             "--bench-dir", str(bench),
+             "--baseline-dir", str(baseline),
+             "--no-history"],
+            capture_output=True, text=True,
+        )
+        assert proc.returncode == 1
+        assert "FAIL" in proc.stdout

@@ -32,6 +32,21 @@ class TestStoreVerbs:
         assert main(["store", "ls", "--store", store_root]) == 0
         out = capsys.readouterr().out
         assert "adult" in out and "serving v1" in out
+        # sizes are human-readable, timestamps the stored ISO-8601 value
+        assert "KiB)" in out or " B)" in out
+        assert "created 2026-08-06T00:00:00Z" in out
+        assert "total: 1 dataset(s), 1 version(s)" in out
+
+        assert main(["store", "ls", "--store", store_root, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        (dataset,) = payload["datasets"]
+        assert dataset["name"] == "adult"
+        assert dataset["serving"] == 1
+        assert dataset["pinned"] is None
+        version = dataset["versions"][0]
+        assert version["created_at"] == "2026-08-06T00:00:00Z"
+        assert isinstance(version["size_bytes"], int)  # raw, not prettified
+        assert payload["stats"]["datasets"] == 1
 
         assert main(["store", "info", "--store", store_root, "adult@1"]) == 0
         payload = json.loads(capsys.readouterr().out)
