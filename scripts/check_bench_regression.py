@@ -42,6 +42,13 @@ DEFAULT_CHECKS = {
         ("warm/qps", "higher", 0.50),
         ("speedup_warm_vs_cold_solved", "higher", 0.50),
         ("warm/mean_ms", "lower", 1.00),
+        # The ReM solved-path bars: the closed-form residual solver
+        # must stay within shouting distance of the covered path and
+        # an order of magnitude ahead of iterative maxent.
+        ("solved_methods/residual/p95_ms", "lower", 1.00),
+        ("solved_methods/residual/qps", "higher", 0.50),
+        ("residual_p95_vs_covered", "lower", 1.00),
+        ("batch/residual/qps", "higher", 0.50),
     ],
     "BENCH_fit.json": [
         ("speedup_packed_vs_legacy", "higher", 0.50),

@@ -35,6 +35,7 @@ import sys
 from contextlib import nullcontext
 
 from repro import obs
+from repro.core.reconstruction import RECONSTRUCTION_METHODS
 from repro.experiments.config import SCALES
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 from repro.obs.exporters import JsonLinesExporter, render_summary
@@ -125,8 +126,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-request deadline in seconds (504 past it)",
     )
     serve_parser.add_argument(
-        "--method", default=None,
-        help="default reconstruction method (maxent)",
+        "--recon-method", "--method", dest="method", default=None,
+        choices=RECONSTRUCTION_METHODS,
+        help="default reconstruction method for uncovered queries "
+        "(default: maxent; `residual` is the closed-form ReM solver)",
     )
     serve_parser.add_argument(
         "--log-level", choices=LEVELS, default=None,
@@ -148,7 +151,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--url", metavar="URL", help="answer via a running `repro serve`"
     )
     query_parser.add_argument(
-        "--method", default=None, help="reconstruction method (maxent)"
+        "--recon-method", "--method", dest="method", default=None,
+        choices=RECONSTRUCTION_METHODS,
+        help="reconstruction method for uncovered queries (default: maxent)",
     )
     query_parser.add_argument(
         "--json", action="store_true", dest="as_json",
@@ -250,8 +255,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-engine thread-pool width",
     )
     store_serve.add_argument(
-        "--method", default=None,
-        help="default reconstruction method (maxent)",
+        "--recon-method", "--method", dest="method", default=None,
+        choices=RECONSTRUCTION_METHODS,
+        help="default reconstruction method for uncovered queries "
+        "(default: maxent; `residual` is the closed-form ReM solver)",
     )
 
     obs_parser = sub.add_parser("obs", help="telemetry utilities")

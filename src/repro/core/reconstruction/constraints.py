@@ -14,7 +14,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.exceptions import ReconstructionError
-from repro.marginals.projection import constraint_matrix, subset_positions
+from repro.marginals.projection import (
+    constraint_matrix,
+    projection_index,
+    subset_positions,
+)
 from repro.marginals.attrs import AttrSet
 from repro.marginals.table import MarginalTable
 
@@ -45,12 +49,12 @@ def extract_constraints(
     """
     target = AttrSet(target_attrs)
     target_set = set(target)
-    by_attrs: dict[tuple[int, ...], list[np.ndarray]] = {}
+    by_attrs: dict[tuple[int, ...], list[MarginalTable]] = {}
     for view in views:
-        inter = tuple(sorted(target_set & set(view.attrs)))
+        inter = tuple(sorted(target_set.intersection(view.attrs)))
         if not inter:
             continue
-        by_attrs.setdefault(inter, []).append(view.project(inter).counts)
+        by_attrs.setdefault(inter, []).append(view)
 
     if not by_attrs:
         raise ReconstructionError(
@@ -59,15 +63,31 @@ def extract_constraints(
 
     kept = list(by_attrs)
     if keep_maximal_only:
+        as_sets = {b: frozenset(b) for b in by_attrs}
         kept = [
             b
-            for b in by_attrs
-            if not any(set(b) < set(other) for other in by_attrs)
+            for b, b_set in as_sets.items()
+            if not any(
+                b_set < other for other in as_sets.values() if other is not b_set
+            )
         ]
+    # Dominated intersections are dropped *before* any projection runs
+    # — on a wide synopsis most views lose to a larger overlap, and
+    # projecting them first was the solved path's main fixed cost.
     constraints = []
     for attrs in sorted(kept, key=lambda a: (-len(a), a)):
-        stacked = np.vstack(by_attrs[attrs])
-        constraints.append(MarginalConstraint(attrs, stacked.mean(axis=0)))
+        size = 1 << len(attrs)
+        projected = [
+            np.bincount(
+                projection_index(view.attrs, attrs)[1],
+                weights=view.counts, minlength=size,
+            )
+            for view in by_attrs[attrs]
+        ]
+        merged = projected[0] if len(projected) == 1 else np.mean(
+            projected, axis=0
+        )
+        constraints.append(MarginalConstraint(attrs, merged))
     return constraints
 
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.reconstruction import reconstruct
+from repro.core.reconstruction import reconstruct, reconstruct_batch
 from repro.covering.design import CoveringDesign
 from repro.marginals.attrs import AttrSet
 from repro.marginals.table import MarginalTable
@@ -85,6 +85,11 @@ class PriViewSynopsis:
         constraints every intersecting view contributes.  With an
         attached serving engine the query goes through its planner and
         answer cache instead.
+
+        Degenerate sets are explicit: the empty set answers with the
+        single-cell total ``N_V`` and the full-domain set runs through
+        the solver like any other uncovered target — neither depends
+        on the views happening to cover them.
         """
         if self._engine is not None:
             return self._engine.answer(attrs, method=method).table
@@ -97,23 +102,25 @@ class PriViewSynopsis:
         are normalised and answered from the first computation; every
         slot still gets its own table, aligned with the input order.
         With an attached serving engine the whole workload goes through
-        its de-duplicating batch path.
+        its de-duplicating batch path; without one the distinct
+        uncovered sets share a single stacked solve
+        (:func:`~repro.core.reconstruction.reconstruct_batch`).
         """
         if self._engine is not None:
             return [
                 answer.table
                 for answer in self._engine.answer_batch(attr_sets, method=method)
             ]
-        distinct: dict[tuple[int, ...], MarginalTable] = {}
+        order = list(dict.fromkeys(AttrSet(attrs) for attrs in attr_sets))
+        tables = reconstruct_batch(self.views, order, method=method)
+        distinct = dict(zip(order, tables))
         out = []
+        seen: set[tuple[int, ...]] = set()
         for attrs in attr_sets:
             target = AttrSet(attrs)
-            table = distinct.get(target)
-            if table is None:
-                table = distinct[target] = self.marginal(target, method=method)
-                out.append(table)
-            else:
-                out.append(table.copy())
+            table = distinct[target]
+            out.append(table.copy() if target in seen else table)
+            seen.add(target)
         return out
 
     def __repr__(self) -> str:

@@ -85,6 +85,33 @@ def projection_index(
     return positions, projection_map(len(attrs), positions)
 
 
+@functools.lru_cache(maxsize=4096)
+def embedding_masks(k: int, positions: tuple[int, ...]) -> np.ndarray:
+    """Cell masks of a ``k``-attribute table spanned by ``positions``.
+
+    Entry ``s`` of the returned length-``2**len(positions)`` int64
+    array is the ``k``-bit mask obtained by scattering the bits of
+    ``s`` onto ``positions`` (bit ``r`` of ``s`` lands on bit
+    ``positions[r]``).  In the Walsh–Hadamard (residual) basis these
+    are exactly the coefficient indices of ``T_A`` that the marginal
+    over the sub-attributes at ``positions`` determines — the inverse
+    direction of :func:`projection_map`, used by the residual
+    reconstruction solver.
+    """
+    if any(pos < 0 or pos >= k for pos in positions):
+        raise DimensionError(
+            f"positions {positions} out of range for a {k}-attribute table"
+        )
+    if len(set(positions)) != len(positions):
+        raise DimensionError(f"positions {positions} contain duplicates")
+    sub = np.arange(1 << len(positions), dtype=np.int64)
+    out = np.zeros(1 << len(positions), dtype=np.int64)
+    for rank, pos in enumerate(positions):
+        out |= ((sub >> rank) & 1) << pos
+    out.setflags(write=False)
+    return out
+
+
 @functools.lru_cache(maxsize=1024)
 def constraint_matrix(k: int, positions: tuple[int, ...]) -> np.ndarray:
     """Dense 0/1 matrix expressing a sub-marginal as sums of parent cells.

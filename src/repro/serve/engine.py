@@ -26,9 +26,21 @@ from concurrent.futures import TimeoutError as _FuturesTimeout
 from dataclasses import dataclass, field
 from time import perf_counter
 
+import numpy as np
+
 from repro import obs
-from repro.core.reconstruction import RECONSTRUCTION_METHODS, reconstruct
-from repro.exceptions import QueryError, QueryTimeoutError, ReproError
+from repro.core.reconstruction import (
+    RECONSTRUCTION_METHODS,
+    ResidualIndex,
+    reconstruct,
+    reconstruct_batch,
+)
+from repro.exceptions import (
+    QueryError,
+    QueryTimeoutError,
+    ReconstructionError,
+    ReproError,
+)
 from repro.kernels import indexcache
 from repro.marginals.table import MarginalTable
 from repro.obs import propagation
@@ -43,6 +55,15 @@ from repro.serve.cache import SingleFlightLRU
 
 DEFAULT_CACHE_SIZE = 1024
 DEFAULT_WORKERS = 8
+
+#: Solver failures the engine absorbs by retrying with maxent when the
+#: requested method was ``residual`` (singular systems, NaN noise).
+#: Anything else — validation errors, planner errors — still surfaces.
+_SOLVE_FALLBACK_ERRORS = (
+    ReconstructionError,
+    FloatingPointError,
+    np.linalg.LinAlgError,
+)
 
 
 @dataclass(frozen=True)
@@ -154,6 +175,26 @@ class QueryEngine:
             outcome: (("dataset", self.dataset), ("outcome", outcome))
             for outcome in ("hit", "miss")
         }
+        # serve.solve_seconds{dataset,method,mode}: label tuples stay
+        # alphabetically pre-sorted for _normalize_labels' fast lane;
+        # lookups by {method=...} merge the single/batch modes.
+        self._solve_labels = {
+            (m, mode): (("dataset", self.dataset), ("method", m), ("mode", mode))
+            for m in RECONSTRUCTION_METHODS
+            for mode in ("single", "batch")
+        }
+        self._fallbacks = 0
+        # Largest arity ever cached, per method — a monotone upper
+        # bound (evictions never shrink it).  The derived path needs a
+        # cached *strict* superset, so when no cached entry beats the
+        # target's arity the per-miss cache scan is skipped entirely;
+        # overcounting only costs an occasional unnecessary scan.
+        self._max_cached_arity: dict[str, int] = {}
+        # Lazily-built per-synopsis residual coefficient index: the
+        # first residual solve pays the one-time view transforms, every
+        # later solve is O(2**k) lookups (see ResidualIndex).
+        self._residual_index: ResidualIndex | None = None
+        self._residual_lock = threading.Lock()
         # Counter-name tuples per (path, hit) so each request is one
         # batched incr_each (one lock, one span lookup) instead of four
         # separate incrs.
@@ -229,6 +270,13 @@ class QueryEngine:
         to override the batch-level method per query).  Results align
         with the input order; repeated/equivalent sets are computed
         once and each slot receives its own table copy.
+
+        Uncovered (solved-path) misses are pre-solved in one stacked
+        reconstruction per method (:func:`reconstruct_batch`) before
+        the per-key fan-out, so a batch of N cold solver queries costs
+        one solve, not N — the per-key futures then just install the
+        pre-solved tables through the single-flight cache, keeping the
+        path/hit accounting identical to the one-at-a-time route.
         """
         batch_method = self._method(method)
         keys: list[tuple[tuple[int, ...], str]] = []
@@ -244,10 +292,14 @@ class QueryEngine:
             keys.append(
                 (self._planner.validate(attrs), self._method(query_method or batch_method))
             )
+        distinct = list(dict.fromkeys(keys))
+        presolved = self._batch_solve(distinct) if len(distinct) > 1 else {}
         futures = {}
         for key in keys:
             if key not in futures:
-                futures[key] = self._submit_answer(key[0], key[1], timeout)
+                futures[key] = self._submit_answer(
+                    key[0], key[1], timeout, presolved.get(key)
+                )
         results = {key: future.result(timeout) for key, future in futures.items()}
         out = []
         seen: set = set()
@@ -284,23 +336,28 @@ class QueryEngine:
             if key[1] == method
         }
 
-    def _submit_answer(self, attrs, method: str, wait_timeout):
+    def _submit_answer(self, attrs, method: str, wait_timeout,
+                       presolved: MarginalTable | None = None):
         """Submit ``_answer`` to the pool, carrying the caller's trace
         context onto the worker thread (thread-locals don't cross
         executor boundaries on their own)."""
         context = propagation.current_context()
         if context is None:
-            return self._pool.submit(self._answer, attrs, method, wait_timeout)
+            return self._pool.submit(
+                self._answer, attrs, method, wait_timeout, presolved
+            )
         return self._pool.submit(
-            self._run_traced, context, attrs, method, wait_timeout
+            self._run_traced, context, attrs, method, wait_timeout, presolved
         )
 
-    def _run_traced(self, context, attrs, method: str, wait_timeout):
+    def _run_traced(self, context, attrs, method: str, wait_timeout,
+                    presolved: MarginalTable | None = None):
         with propagation.trace_scope(context):
-            return self._answer(attrs, method, wait_timeout)
+            return self._answer(attrs, method, wait_timeout, presolved)
 
     def _answer(self, attrs, method: str,
-                wait_timeout: float | None) -> QueryAnswer:
+                wait_timeout: float | None,
+                presolved: MarginalTable | None = None) -> QueryAnswer:
         start = perf_counter()
         with obs.span("serve.request"):
             try:
@@ -308,7 +365,8 @@ class QueryEngine:
                 key = (target, method)
                 lookup_start = perf_counter()
                 entry, hit = self._cache.get_or_compute(
-                    key, lambda: self._compute(target, method), wait_timeout
+                    key, lambda: self._compute(target, method, presolved),
+                    wait_timeout,
                 )
                 lookup_elapsed = perf_counter() - lookup_start
             except ReproError:
@@ -356,9 +414,13 @@ class QueryEngine:
             source=entry.source,
         )
 
-    def _compute(self, target: tuple[int, ...], method: str) -> _CacheEntry:
+    def _compute(self, target: tuple[int, ...], method: str,
+                 presolved: MarginalTable | None = None) -> _CacheEntry:
         """Execute the plan for one cache miss (single-flight leader)."""
-        cached = self._cached_supersets(method) if self.derive_from_cache else None
+        cached = (
+            self._cached_supersets(method)
+            if self._may_derive(method, target) else None
+        )
         plan = self._planner.plan(target, method, cached)
         with obs.span(f"serve.compute.{plan.path}"):
             if plan.path == PATH_COVERED:
@@ -366,17 +428,138 @@ class QueryEngine:
             elif plan.path == PATH_DERIVED:
                 table = cached[plan.source].project(target)
             elif self._views:
-                table = reconstruct(
-                    self._views,
-                    target,
-                    method=method,
-                    use_covering_view=False,
-                    total=self._total,
+                # A stacked batch solve may have produced this table
+                # already; otherwise solve here (with fallback).
+                table = presolved if presolved is not None else self._solve(
+                    target, method
                 )
             else:
                 # Viewless source: the mechanism answers directly.
                 table = self.source.marginal(target)
+        self._note_cached_arity(method, len(target))
         return _CacheEntry(table=table, path=plan.path, source=plan.source)
+
+    def _may_derive(self, method: str, target: tuple[int, ...]) -> bool:
+        """Whether a cached strict superset could exist for ``target``.
+
+        A concurrent leader may have cached a superset it hasn't
+        recorded yet; that race only downgrades one derivation to a
+        solve, never the answer.
+        """
+        return (
+            self.derive_from_cache
+            and self._max_cached_arity.get(method, 0) > len(target)
+        )
+
+    def _note_cached_arity(self, method: str, arity: int) -> None:
+        if arity > self._max_cached_arity.get(method, 0):
+            with self._stats_lock:
+                if arity > self._max_cached_arity.get(method, 0):
+                    self._max_cached_arity[method] = arity
+
+    def _residual_solver(self) -> ResidualIndex:
+        """The per-synopsis coefficient index, built on first use."""
+        index = self._residual_index
+        if index is None:
+            with self._residual_lock:
+                index = self._residual_index
+                if index is None:
+                    index = ResidualIndex(self._views, self._total)
+                    self._residual_index = index
+        return index
+
+    def _solve(self, target: tuple[int, ...], method: str) -> MarginalTable:
+        """One solved-path reconstruction, with the residual safety net.
+
+        Residual solves run against the precomputed coefficient index;
+        one that blows up (singular system, NaN noise in a view) falls
+        back to ``maxent`` — the answer is cached under the *requested*
+        method's key, and the fallback is counted in
+        ``serve.solve.fallback`` and the engine stats.
+        """
+        start = perf_counter()
+        try:
+            if method == "residual":
+                table = self._residual_solver().solve(target)
+            else:
+                table = reconstruct(
+                    self._views, target, method=method,
+                    use_covering_view=False, total=self._total,
+                )
+        except _SOLVE_FALLBACK_ERRORS:
+            if method != "residual":
+                raise
+            self._count_fallback(1)
+            table = reconstruct(
+                self._views, target, method="maxent",
+                use_covering_view=False, total=self._total,
+            )
+        obs.observe(
+            "serve.solve_seconds", perf_counter() - start,
+            self._solve_labels[method, "single"],
+        )
+        return table
+
+    def _batch_solve(self, keys) -> dict:
+        """Pre-solve a batch's uncovered misses, one stack per method.
+
+        Plans every distinct uncached key; keys landing on the solved
+        path are grouped by method and each group of two or more runs
+        one :func:`reconstruct_batch` call.  Returns ``{key: table}``
+        for the pre-solved keys — everything else (covered, derived,
+        already cached, singleton groups) flows through the ordinary
+        per-key route.  A failing ``residual`` stack falls back to one
+        ``maxent`` stack; failures of other methods are left to the
+        per-key solve so each key surfaces its own error.
+        """
+        if not self._views:
+            return {}
+        groups: dict[str, list[tuple[tuple[int, ...], str]]] = {}
+        for key in keys:
+            if self._cache.get(key) is not None:
+                continue
+            target, method = key
+            cached = (
+                self._cached_supersets(method)
+                if self._may_derive(method, target) else None
+            )
+            plan = self._planner.plan(target, method, cached)
+            if plan.path == PATH_SOLVED:
+                groups.setdefault(method, []).append(key)
+        presolved: dict[tuple[tuple[int, ...], str], MarginalTable] = {}
+        for method, group in groups.items():
+            if len(group) < 2:
+                continue
+            targets = [key[0] for key in group]
+            start = perf_counter()
+            try:
+                if method == "residual":
+                    tables = self._residual_solver().solve_batch(targets)
+                else:
+                    tables = reconstruct_batch(
+                        self._views, targets, method=method,
+                        use_covering_view=False, total=self._total,
+                    )
+            except _SOLVE_FALLBACK_ERRORS:
+                if method != "residual":
+                    continue
+                self._count_fallback(len(group))
+                tables = reconstruct_batch(
+                    self._views, targets, method="maxent",
+                    use_covering_view=False, total=self._total,
+                )
+            obs.observe(
+                "serve.solve_seconds", perf_counter() - start,
+                self._solve_labels[method, "batch"],
+            )
+            obs.incr("serve.solve.batched", len(group))
+            presolved.update(zip(group, tables))
+        return presolved
+
+    def _count_fallback(self, n: int) -> None:
+        with self._stats_lock:
+            self._fallbacks += n
+        obs.incr("serve.solve.fallback", n)
 
     def _record(self, path: str) -> None:
         with self._stats_lock:
@@ -394,6 +577,7 @@ class QueryEngine:
         with self._stats_lock:
             requests = self._requests
             paths = dict(self._paths)
+            fallbacks = self._fallbacks
         design = getattr(self.source, "design", None)
         latency = None
         sess = obs.current()
@@ -415,6 +599,7 @@ class QueryEngine:
             "paths": paths,
             "latency": latency,
             "cache": self._cache.stats(),
+            "solve": {"fallbacks": fallbacks},
             "default_method": self.default_method,
             "dataset": self.dataset,
             "synopsis": {

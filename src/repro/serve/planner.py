@@ -24,7 +24,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.reconstruction import covering_view
 from repro.exceptions import DimensionError, QueryError
 from repro.marginals.attrs import AttrSet
 from repro.marginals.table import MarginalTable
@@ -68,6 +67,14 @@ class QueryPlanner:
     def __init__(self, views: list[MarginalTable], num_attributes: int):
         self._views = list(views)
         self._num_attributes = int(num_attributes)
+        # One bitmask per view: the covered check is then a single
+        # integer AND per view instead of a set.issubset, which is what
+        # an uncovered (solved-path) query pays for every view.  Order
+        # is preserved so the first match agrees with covering_view.
+        self._view_masks = [
+            (sum(1 << a for a in view.attrs), view.attrs)
+            for view in self._views
+        ]
 
     def validate(self, attrs) -> tuple[int, ...]:
         """Normalise ``attrs`` or raise :class:`QueryError`."""
@@ -95,9 +102,12 @@ class QueryPlanner:
         superset wins, minimising projection cost.
         """
         target = self.validate(attrs)
-        cover = covering_view(self._views, target)
-        if cover is not None:
-            return QueryPlan(target, method, PATH_COVERED, cover.attrs)
+        target_mask = 0
+        for a in target:
+            target_mask |= 1 << a
+        for view_mask, view_attrs in self._view_masks:
+            if target_mask & view_mask == target_mask:
+                return QueryPlan(target, method, PATH_COVERED, view_attrs)
         if cached_supersets:
             target_set = set(target)
             best: tuple[int, ...] | None = None

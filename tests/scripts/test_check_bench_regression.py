@@ -21,6 +21,9 @@ GOOD_SERVE = {
     "benchmark": "serve_test",
     "warm": {"qps": 50_000.0, "mean_ms": 0.02},
     "speedup_warm_vs_cold_solved": 90.0,
+    "solved_methods": {"residual": {"p95_ms": 0.15, "qps": 9_000.0}},
+    "residual_p95_vs_covered": 1.5,
+    "batch": {"residual": {"qps": 2_000.0}},
 }
 
 

@@ -68,6 +68,33 @@ class TestServeParser:
         assert args.port == 0
         assert args.cache_size == 64
 
+    @pytest.mark.parametrize("verb", [
+        ["serve", "--synopsis", "s.npz"],
+        ["store", "serve", "--store", "d"],
+    ])
+    @pytest.mark.parametrize("flag", ["--recon-method", "--method"])
+    def test_recon_method_flag(self, verb, flag):
+        args = build_parser().parse_args(verb + [flag, "residual"])
+        assert args.method == "residual"
+        # default stays None so the engine default (maxent) applies
+        assert build_parser().parse_args(verb).method is None
+
+    def test_recon_method_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["serve", "--synopsis", "s.npz", "--recon-method", "nope"]
+            )
+
+    def test_query_recon_method_residual(self, synopsis_path, capsys):
+        code = main([
+            "query", "0,4", "--synopsis", str(synopsis_path),
+            "--recon-method", "residual", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out.strip())
+        assert payload["path"] == "solved"
+        assert payload["method"] == "residual"
+
 
 class TestServeSynopsisMigration:
     """The deprecated ``serve_synopsis`` alias stays for external

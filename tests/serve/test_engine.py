@@ -20,18 +20,31 @@ def engine(chain_synopsis):
 
 
 class _CountingReconstruct:
-    """Thread-safe counting wrapper around the real reconstruct."""
+    """Thread-safe counter over both reconstruction entry points: a
+    batch of targets counts each target once, so "computed exactly
+    once" holds whether a query went through ``reconstruct`` or a
+    stacked ``reconstruct_batch``."""
 
-    def __init__(self):
+    def __init__(self, module=engine_module):
         self._lock = threading.Lock()
         self.calls: dict[tuple, int] = {}
-        self._real = engine_module.reconstruct
+        self._real = module.reconstruct
+        self._real_batch = module.reconstruct_batch
 
-    def __call__(self, views, target_attrs, **kwargs):
+    def _count(self, target_attrs) -> None:
         key = tuple(sorted(target_attrs))
         with self._lock:
             self.calls[key] = self.calls.get(key, 0) + 1
+
+    def __call__(self, views, target_attrs, **kwargs):
+        self._count(target_attrs)
         return self._real(views, target_attrs, **kwargs)
+
+    def batch(self, views, target_attrs_list, **kwargs):
+        targets = list(target_attrs_list)
+        for target_attrs in targets:
+            self._count(target_attrs)
+        return self._real_batch(views, targets, **kwargs)
 
     @property
     def total(self) -> int:
@@ -43,6 +56,7 @@ class _CountingReconstruct:
 def counting(monkeypatch):
     counter = _CountingReconstruct()
     monkeypatch.setattr(engine_module, "reconstruct", counter)
+    monkeypatch.setattr(engine_module, "reconstruct_batch", counter.batch)
     return counter
 
 
@@ -158,9 +172,9 @@ class TestSynopsisRouting:
     def test_marginals_dedupes_without_engine(self, chain_synopsis, monkeypatch):
         import repro.core.synopsis as synopsis_module
 
-        counter = _CountingReconstruct()
-        counter._real = synopsis_module.reconstruct
+        counter = _CountingReconstruct(synopsis_module)
         monkeypatch.setattr(synopsis_module, "reconstruct", counter)
+        monkeypatch.setattr(synopsis_module, "reconstruct_batch", counter.batch)
         tables = chain_synopsis.marginals([(0, 4), [4, 0], (0, 4), (1, 6)])
         assert counter.calls == {(0, 4): 1, (1, 6): 1}
         assert [t.attrs for t in tables] == [(0, 4), (0, 4), (0, 4), (1, 6)]

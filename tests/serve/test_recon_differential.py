@@ -1,0 +1,158 @@
+"""Differential tests: planner paths and recon methods must agree.
+
+For random queries against one synopsis, the covered, derived and
+solved paths — the latter under both ``maxent`` and ``residual`` — are
+different routes to the *same* released information.  These tests pin
+the agreements that must hold across routes:
+
+* any marginal over attributes shared by two answers is (near) the
+  same whichever answer it is projected from;
+* the batch path answers exactly what the one-at-a-time path answers;
+* the stacked residual pre-solve used by ``answer_batch`` changes the
+  wall-clock shape, never the tables.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.reconstruction import RECONSTRUCTION_METHODS
+from repro.marginals.attrs import AttrSet
+from repro.serve import PATH_COVERED, PATH_SOLVED, QueryEngine
+
+RECON_METHODS = ("maxent", "residual")
+
+
+@pytest.fixture
+def engine(chain_synopsis):
+    with QueryEngine(chain_synopsis) as eng:
+        yield eng
+
+
+def _rel_l1(a, b, total):
+    return np.abs(a - b).sum() / total
+
+
+class TestPathAgreement:
+    @pytest.mark.parametrize("method", RECON_METHODS)
+    def test_covered_and_solved_agree_on_overlap(self, engine, method):
+        """Project a covered answer and a solved answer down to their
+        shared attributes: both must reproduce the view information."""
+        total = engine.source.total_count()
+        covered = engine.answer((2, 3, 4, 5), method=method)
+        assert covered.path == PATH_COVERED
+        solved = engine.answer((3, 4, 6), method=method)
+        assert solved.path == PATH_SOLVED
+        overlap = AttrSet((3, 4))
+        a = covered.table.project(overlap).counts
+        b = solved.table.project(overlap).counts
+        assert _rel_l1(a, b, total) < 0.02
+
+    @pytest.mark.parametrize("method", RECON_METHODS)
+    def test_random_query_pairs_agree_on_overlap(self, engine, method):
+        rng = np.random.default_rng(77)
+        total = engine.source.total_count()
+        d = engine.source.num_attributes
+        for _ in range(8):
+            k1, k2 = rng.integers(2, 5, size=2)
+            q1 = AttrSet(sorted(rng.choice(d, size=k1, replace=False)))
+            q2 = AttrSet(sorted(rng.choice(d, size=k2, replace=False)))
+            overlap = AttrSet(sorted(set(q1) & set(q2)))
+            if not overlap:
+                continue
+            a1 = engine.answer(q1, method=method)
+            a2 = engine.answer(q2, method=method)
+            pa = a1.table.project(overlap).counts
+            pb = a2.table.project(overlap).counts
+            # Identical released info, two completions: projections
+            # onto determined overlaps agree within solver tolerance.
+            assert _rel_l1(pa, pb, total) < 0.25
+
+    def test_methods_agree_on_covered_and_derived(self, chain_synopsis):
+        """Covered and derived answers never run a solver, so the
+        method label must not change the table at all."""
+        with QueryEngine(chain_synopsis) as eng:
+            for attrs in [(0, 1), (2, 3), (4, 5, 6)]:
+                tables = [
+                    eng.answer(attrs, method=m).table.counts
+                    for m in RECON_METHODS
+                ]
+                assert np.allclose(tables[0], tables[1])
+
+    def test_methods_agree_within_tolerance_on_solved(self, engine):
+        total = engine.source.total_count()
+        for attrs in [(0, 4), (1, 6), (0, 2, 4), (1, 3, 6)]:
+            answers = {
+                m: engine.answer(attrs, method=m) for m in RECON_METHODS
+            }
+            assert {a.path for a in answers.values()} == {PATH_SOLVED}
+            assert _rel_l1(
+                answers["maxent"].table.counts,
+                answers["residual"].table.counts,
+                total,
+            ) < 0.25
+
+
+class TestBatchDifferential:
+    @pytest.mark.parametrize("method", RECON_METHODS)
+    def test_batch_equals_one_at_a_time(self, chain_synopsis, method):
+        """The stacked pre-solve must be invisible in the results:
+        a fresh engine's batch answers equal a fresh engine's serial
+        answers, query for query."""
+        workload = [
+            (0, 1), (0, 4), (1, 6), (0, 2, 4), (3, 7),
+            (2, 3, 4), (1, 3, 6), (0, 4), (),
+        ]
+        with QueryEngine(chain_synopsis) as eng_a:
+            batch = eng_a.answer_batch(workload, method=method)
+        with QueryEngine(chain_synopsis) as eng_b:
+            serial = [eng_b.answer(q, method=method) for q in workload]
+        for got, want in zip(batch, serial):
+            assert got.path == want.path
+            assert got.method == want.method == method
+            assert np.allclose(got.table.counts, want.table.counts, atol=1e-8)
+
+    def test_mixed_method_batch_routes_each_group(self, chain_synopsis):
+        workload = [
+            ((0, 4), "maxent"), ((0, 4), "residual"),
+            ((1, 6), "maxent"), ((1, 6), "residual"),
+        ]
+        with QueryEngine(chain_synopsis) as eng:
+            out = eng.answer_batch(workload)
+        assert [a.method for a in out] == [
+            "maxent", "residual", "maxent", "residual",
+        ]
+        total = chain_synopsis.total_count()
+        assert _rel_l1(out[0].table.counts, out[1].table.counts, total) < 0.25
+        for a in out:
+            assert a.table.counts.min() >= -1e-9
+            assert a.table.total() == pytest.approx(total, rel=1e-6)
+
+    def test_all_methods_accepted_end_to_end(self, chain_synopsis):
+        with QueryEngine(chain_synopsis) as eng:
+            for method in RECONSTRUCTION_METHODS:
+                answer = eng.answer((0, 6), method=method)
+                assert np.all(np.isfinite(answer.table.counts))
+
+
+class TestDerivedDifferential:
+    @pytest.mark.parametrize("method", RECON_METHODS)
+    def test_derived_matches_fresh_solve(self, chain_synopsis, method):
+        """Derived answers (projections of cached solves) stay within
+        solver tolerance of a from-scratch solve of the subset."""
+        total = chain_synopsis.total_count()
+        with QueryEngine(chain_synopsis) as eng:
+            parent = eng.answer((0, 1, 4, 6), method=method)
+            assert parent.path == PATH_SOLVED
+            child = eng.answer((0, 4, 6), method=method)
+            assert child.path == "derived"
+            assert child.source == (0, 1, 4, 6)
+        with QueryEngine(chain_synopsis, derive_from_cache=False) as eng:
+            fresh = eng.answer((0, 4, 6), method=method)
+            assert fresh.path == PATH_SOLVED
+        assert _rel_l1(
+            child.table.counts, fresh.table.counts, total
+        ) < 0.15

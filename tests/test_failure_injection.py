@@ -16,7 +16,7 @@ from repro.core.reconstruction import reconstruct
 from repro.core.serialization import load_synopsis, save_synopsis
 from repro.covering.design import CoveringDesign
 from repro.covering.repository import best_design
-from repro.exceptions import DatasetError, ReproError
+from repro.exceptions import DatasetError, ReconstructionError, ReproError
 from repro.marginals.table import MarginalTable
 
 DESIGN = CoveringDesign(
@@ -139,3 +139,94 @@ class TestSolverStress:
         table = reconstruct([v1, v2], (0, 1, 2), method="lp")
         assert np.all(np.isfinite(table.counts))
         assert table.counts.min() >= 0.0
+
+
+class TestResidualFallback:
+    """A residual solve that blows up must degrade, not crash: the
+    engine retries with maxent and counts the event."""
+
+    @pytest.fixture
+    def synopsis(self):
+        rng = np.random.default_rng(5)
+        dataset = BinaryDataset.random(800, 6, density=0.5, rng=rng)
+        return PriView(2.0, design=DESIGN, seed=3).fit(dataset)
+
+    @pytest.mark.parametrize("exc", [
+        ReconstructionError("singular residual system"),
+        FloatingPointError("NaN noise draw"),
+        np.linalg.LinAlgError("ill-conditioned"),
+    ])
+    def test_single_solve_falls_back_and_counts(self, synopsis, monkeypatch, exc):
+        from repro import obs
+        from repro.core.reconstruction import ResidualIndex
+        from repro.serve.engine import QueryEngine
+
+        def blow_up(self, target):
+            raise exc
+
+        monkeypatch.setattr(ResidualIndex, "solve", blow_up)
+        with obs.session() as sess:
+            with QueryEngine(synopsis, default_method="residual") as eng:
+                answer = eng.answer((0, 5))  # uncovered -> solved path
+                assert answer.path == "solved"
+                assert answer.method == "residual"  # cached under request key
+                assert np.all(np.isfinite(answer.table.counts))
+                assert answer.table.counts.min() >= -1e-9
+                stats = eng.stats()
+            counters = sess.metrics.snapshot()["counters"]
+        assert stats["solve"]["fallbacks"] == 1
+        assert counters["serve.solve.fallback"] == 1
+
+    def test_batch_solve_falls_back_and_counts(self, synopsis, monkeypatch):
+        from repro import obs
+        from repro.core.reconstruction import ResidualIndex
+        from repro.serve.engine import QueryEngine
+
+        def blow_up(self, targets):
+            raise ReconstructionError("stacked solve went singular")
+
+        monkeypatch.setattr(ResidualIndex, "solve_batch", blow_up)
+        workload = [(0, 5), (1, 4), (0, 3, 5)]  # all uncovered
+        with obs.session() as sess:
+            with QueryEngine(synopsis, default_method="residual") as eng:
+                answers = eng.answer_batch(workload)
+                stats = eng.stats()
+            counters = sess.metrics.snapshot()["counters"]
+        assert [a.path for a in answers] == ["solved"] * 3
+        assert all(np.all(np.isfinite(a.table.counts)) for a in answers)
+        assert stats["solve"]["fallbacks"] == len(workload)
+        assert counters["serve.solve.fallback"] == len(workload)
+
+    def test_non_residual_failures_still_surface(self, synopsis, monkeypatch):
+        """The safety net is residual-only: a failing maxent solve is a
+        real error and must not be silently retried."""
+        from repro.serve import engine as engine_mod
+        from repro.serve.engine import QueryEngine
+
+        def always_fail(views, target, method="maxent", **kwargs):
+            raise ReconstructionError("boom")
+
+        monkeypatch.setattr(engine_mod, "reconstruct", always_fail)
+        with QueryEngine(synopsis, default_method="maxent") as eng:
+            with pytest.raises(ReconstructionError):
+                eng.answer((0, 5))
+            assert eng.stats()["solve"]["fallbacks"] == 0
+
+    def test_nan_poisoned_views_trigger_real_fallback(self, synopsis):
+        """End to end, no monkeypatching: NaN in a view makes the
+        residual solver raise its typed error, and the engine absorbs
+        it through the maxent fallback."""
+        from repro.serve.engine import QueryEngine
+
+        synopsis.views[0].counts[0] = np.nan
+        with QueryEngine(synopsis, default_method="residual") as eng:
+            try:
+                answer = eng.answer((0, 5))
+            except ReproError:
+                return  # typed failure is acceptable containment
+            # the fallback ran; NaN may propagate through maxent but
+            # must then be *visible*, never a valid-looking table
+            stats = eng.stats()
+            assert stats["solve"]["fallbacks"] == 1
+            finite = np.all(np.isfinite(answer.table.counts))
+            assert (not finite) or answer.table.counts.min() >= -1e-9
