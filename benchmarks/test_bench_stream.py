@@ -1,0 +1,100 @@
+"""Benchmark the streaming vertical: ingest → fit → publish → query.
+
+Emits ``BENCH_stream.json`` — sustained window throughput (events
+ingested per second and windows released per minute at d=32 with
+N=200k records per window, the acceptance configuration) plus the
+latency of last-k window-union queries served through the router.
+The acceptance bar: every window publishes as its own store version
+with window metadata, the parallel-composition audit balances
+exactly, and the union of the released windows accounts for every
+ingested record.
+"""
+
+import json
+import pathlib
+from time import perf_counter
+
+import numpy as np
+
+from repro import obs
+from repro.serve import EngineRouter
+from repro.store import SynopsisStore
+from repro.stream import (
+    BudgetSchedule,
+    CountWindowPolicy,
+    Event,
+    WindowScheduler,
+    answer_windows,
+)
+
+D = 32
+WINDOW_RECORDS = 200_000
+WINDOWS = 3
+UNION_QUERIES = 30
+
+
+def _events(rng, n: int):
+    """Pre-draw the transaction matrix; yield one Event per record."""
+    rows = rng.random((n, D)) < 0.3
+    for row in rows:
+        yield Event(tuple(int(x) for x in np.nonzero(row)[0]))
+
+
+def test_bench_stream_export(scale, tmp_path):
+    rng = np.random.default_rng(0)
+    store = SynopsisStore(tmp_path / "registry")
+    total = WINDOWS * WINDOW_RECORDS
+
+    with obs.session() as sess:
+        scheduler = WindowScheduler(
+            store, "stream32", D, BudgetSchedule(1.0),
+            CountWindowPolicy(WINDOW_RECORDS),
+        )
+        start = perf_counter()
+        released = scheduler.run(_events(rng, total))
+        elapsed = perf_counter() - start
+        sess.ledger.check()
+        assert sess.ledger.total_spent() == 1.0  # parallel, not 3.0
+
+    assert [r.version for r in released] == list(range(1, WINDOWS + 1))
+    assert sum(r.records for r in released) == total
+    fit_s = [r.fit_seconds for r in released]
+
+    with EngineRouter(store) as router:
+        cold_start = perf_counter()
+        answer = answer_windows(router, "stream32", (0, 5, 9), last=WINDOWS)
+        cold_s = perf_counter() - cold_start
+        assert answer.union.total() == sum(
+            s.answer.table.total() for s in answer.slices
+        )
+        warm = []
+        for i in range(UNION_QUERIES):
+            attrs = (i % D, (i + 7) % D)
+            t0 = perf_counter()
+            answer_windows(router, "stream32", attrs, last=WINDOWS)
+            warm.append(perf_counter() - t0)
+
+    warm_ms = sorted(1e3 * s for s in warm)
+    payload = {
+        "benchmark": f"stream_d{D}_n{WINDOW_RECORDS}x{WINDOWS}",
+        "scale": scale.name,
+        "ingest": {
+            "events": total,
+            "events_per_s": total / elapsed,
+            "wall_s": elapsed,
+        },
+        "windows": {
+            "released": len(released),
+            "per_minute": 60.0 * len(released) / elapsed,
+            "fit_mean_s": sum(fit_s) / len(fit_s),
+            "fit_max_s": max(fit_s),
+        },
+        "union_query": {
+            "cold_ms": 1e3 * cold_s,
+            "warm_mean_ms": sum(warm_ms) / len(warm_ms),
+            "warm_p95_ms": warm_ms[int(0.95 * (len(warm_ms) - 1))],
+            "slices": WINDOWS,
+        },
+    }
+    out = pathlib.Path(__file__).resolve().parent.parent / "BENCH_stream.json"
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

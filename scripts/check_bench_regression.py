@@ -62,6 +62,13 @@ DEFAULT_CHECKS = {
         ("load/unverified_s", "lower", 3.00),
         ("router/warm_lease_mean_us", "lower", 3.00),
     ],
+    "BENCH_stream.json": [
+        ("ingest/events_per_s", "higher", 0.50),
+        ("windows/per_minute", "higher", 0.50),
+        ("windows/fit_mean_s", "lower", 3.00),
+        ("union_query/warm_mean_ms", "lower", 3.00),
+        ("union_query/warm_p95_ms", "lower", 3.00),
+    ],
 }
 
 

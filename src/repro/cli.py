@@ -13,7 +13,11 @@ Examples::
     python -m repro query 0,3,5 --url http://127.0.0.1:8177
     python -m repro store publish --store synopses/ adult synopsis.npz
     python -m repro store ls --store synopses/
-    python -m repro store serve --store synopses/ --watch
+    python -m repro store serve --store synopses/ --watch --watch-interval 0.5
+    python -m repro store prune --store synopses/ --keep-last 24 --match "clicks*"
+    python -m repro stream run clicks --store synopses/ --input events.jsonl \
+        --num-attributes 32 --epsilon 1.0 --window-size 200000 --keep-last 24
+    python -m repro stream status clicks --store synopses/
 
 ``--trace`` prints, after each experiment's report, a nested
 stage-timing tree, the pipeline counters, and a privacy-budget ledger
@@ -226,6 +230,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="minimum age before a .tmp-* leftover is swept (default 3600)",
     )
 
+    prune = store_dir(store_sub.add_parser(
+        "prune", help="drop old versions (streaming retention)"
+    ))
+    prune.add_argument(
+        "name", nargs="?", default=None,
+        help="dataset to prune (omit when using --match)",
+    )
+    prune.add_argument(
+        "--keep-last", type=int, required=True, metavar="N",
+        help="newest versions kept per dataset (pinned always survive)",
+    )
+    prune.add_argument(
+        "--match", default=None, metavar="GLOB",
+        help="prune every dataset matching this glob instead of one name",
+    )
+    prune.add_argument(
+        "--gc", action="store_true", dest="run_gc",
+        help="sweep the dropped objects immediately after pruning",
+    )
+
     store_serve = telemetry_flags(store_dir(store_sub.add_parser(
         "serve", help="serve every published dataset over HTTP"
     )))
@@ -247,6 +271,12 @@ def build_parser() -> argparse.ArgumentParser:
         "(poll the manifest mtime; /v1/reload also works)",
     )
     store_serve.add_argument(
+        "--watch-interval", type=float, default=0.0, metavar="SECONDS",
+        help="minimum seconds between --watch manifest polls "
+        "(0 = poll on every request; raise to bound stat() traffic "
+        "at the cost of publish-visibility latency)",
+    )
+    store_serve.add_argument(
         "--cache-size", type=int, default=None,
         help="per-engine answer-cache capacity",
     )
@@ -259,6 +289,74 @@ def build_parser() -> argparse.ArgumentParser:
         choices=RECONSTRUCTION_METHODS,
         help="default reconstruction method for uncovered queries "
         "(default: maxent; `residual` is the closed-form ReM solver)",
+    )
+
+    stream_parser = sub.add_parser(
+        "stream", help="continuous ingestion with windowed DP releases"
+    )
+    stream_sub = stream_parser.add_subparsers(
+        dest="stream_command", required=True
+    )
+
+    stream_run = store_dir(stream_sub.add_parser(
+        "run",
+        help="ingest JSON-lines events, release one synopsis per window",
+    ))
+    stream_run.add_argument("dataset", help="store dataset name (no '@')")
+    stream_run.add_argument(
+        "--input", required=True, metavar="PATH",
+        help="JSON-lines events ('-' for stdin); each line an item "
+        "array or {\"items\": [...], \"ts\": ...}",
+    )
+    stream_run.add_argument(
+        "--num-attributes", type=int, required=True, metavar="D",
+        help="binary domain width (item ids outside range are ignored)",
+    )
+    stream_run.add_argument(
+        "--epsilon", type=float, required=True,
+        help="per-window epsilon; disjoint windows compose in "
+        "parallel, so the whole stream costs this much",
+    )
+    window = stream_run.add_mutually_exclusive_group(required=True)
+    window.add_argument(
+        "--window-size", type=int, metavar="N",
+        help="count-based tumbling windows of N events",
+    )
+    window.add_argument(
+        "--window-seconds", type=float, metavar="W",
+        help="event-time tumbling windows of W seconds (needs ts)",
+    )
+    stream_run.add_argument(
+        "--lateness", type=float, default=0.0, metavar="SECONDS",
+        help="watermark lag for --window-seconds; events older than "
+        "the watermark's closed horizon are counted and dropped",
+    )
+    stream_run.add_argument(
+        "--origin", type=float, default=0.0, metavar="T0",
+        help="epoch the --window-seconds grid is anchored at",
+    )
+    stream_run.add_argument(
+        "--keep-last", type=int, default=None, metavar="K",
+        help="prune the dataset to its newest K versions after "
+        "each publish (retention; pinned versions survive)",
+    )
+    stream_run.add_argument("--seed", type=int, default=0)
+    stream_run.add_argument(
+        "--view-width", type=int, default=None, metavar="W",
+        help="covering-design view width (default 8, capped at D)",
+    )
+    stream_run.add_argument(
+        "--audit", action="store_true",
+        help="print the parallel-composition budget audit after the run",
+    )
+
+    stream_status = store_dir(stream_sub.add_parser(
+        "status", help="list the released windows of a dataset"
+    ))
+    stream_status.add_argument("dataset")
+    stream_status.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="machine-readable window listing",
     )
 
     obs_parser = sub.add_parser("obs", help="telemetry utilities")
@@ -463,6 +561,30 @@ def _cmd_store(args) -> int:
         kwargs = {} if args.tmp_age is None else {"tmp_age_s": args.tmp_age}
         print(_json.dumps(store.gc(**kwargs), indent=2, sort_keys=True))
         return 0
+    if args.store_command == "prune":
+        if (args.name is None) == (args.match is None):
+            raise SystemExit(
+                "error: pass exactly one of a dataset name or --match GLOB"
+            )
+        if args.match is not None:
+            dropped = store.prune_matching(
+                args.match, keep_last=args.keep_last
+            )
+        else:
+            gone = store.prune(args.name, keep_last=args.keep_last)
+            dropped = {args.name: gone} if gone else {}
+        for name, versions in sorted(dropped.items()):
+            specs = ", ".join(f"v{v.version}" for v in versions)
+            print(f"{name}: dropped {len(versions)} version(s) ({specs})")
+        if not dropped:
+            print("nothing to prune")
+        if args.run_gc:
+            report = store.gc(tmp_age_s=0.0)
+            print(
+                f"gc: removed {len(report['removed_objects'])} object(s), "
+                f"reclaimed {_human_bytes(report['reclaimed_bytes'])}"
+            )
+        return 0
 
     # store serve
     from repro.serve import server as serve_server
@@ -486,6 +608,7 @@ def _cmd_store(args) -> int:
         ),
         max_engines=args.max_engines,
         watch=args.watch,
+        watch_interval=args.watch_interval,
         trace_sample_rate=args.trace_sample_rate,
         metrics_out=args.metrics_out,
         metrics_interval_s=args.metrics_interval,
@@ -502,6 +625,101 @@ def _cmd_store(args) -> int:
         log.info("interrupted; shutting down")
     finally:
         server.shutdown()
+    return 0
+
+
+def _cmd_stream(args) -> int:
+    import json as _json
+
+    from repro.store import SynopsisStore
+
+    if args.stream_command == "status":
+        from repro.stream.query import list_windows
+
+        store = SynopsisStore(args.store, create=False)
+        windows = list_windows(store, args.dataset)
+        if args.as_json:
+            print(_json.dumps(
+                {"dataset": args.dataset, "windows": windows},
+                indent=2, sort_keys=True,
+            ))
+            return 0
+        if not windows:
+            print(f"{args.dataset}: no released windows")
+            return 0
+        for w in windows:
+            print(
+                f"window {w['index']:>4d}  v{w['version']:<4d} "
+                f"[{w['start']:g}, {w['end']:g})  "
+                f"{w.get('records', '?')} record(s)  "
+                f"epsilon={w.get('epsilon')}"
+            )
+        print(f"total: {len(windows)} window(s)")
+        return 0
+
+    # stream run
+    from repro.stream import (
+        BudgetSchedule,
+        CountWindowPolicy,
+        TimeWindowPolicy,
+        WindowScheduler,
+        iter_events,
+        read_jsonl_events,
+    )
+
+    if args.window_size is not None:
+        policy = CountWindowPolicy(args.window_size)
+    else:
+        policy = TimeWindowPolicy(
+            args.window_seconds, lateness=args.lateness, origin=args.origin
+        )
+    if args.input == "-":
+        events = iter_events(
+            _json.loads(line) for line in sys.stdin if line.strip()
+        )
+    else:
+        events = read_jsonl_events(args.input)
+    store = SynopsisStore(args.store)
+    scheduler_kwargs = {}
+    if args.view_width is not None:
+        scheduler_kwargs["view_width"] = args.view_width
+    scheduler = WindowScheduler(
+        store,
+        args.dataset,
+        args.num_attributes,
+        BudgetSchedule(args.epsilon),
+        policy,
+        keep_last=args.keep_last,
+        seed=args.seed,
+        **scheduler_kwargs,
+    )
+
+    def on_release(record):
+        print(
+            f"released window {record.index} as "
+            f"{args.dataset}@{record.version}  "
+            f"[{record.start:g}, {record.end:g})  "
+            f"{record.records} record(s)  epsilon={record.epsilon}  "
+            f"fit {record.fit_seconds:.3f}s"
+        )
+
+    with obs.session(trace=False) as sess:
+        released = scheduler.run(events, on_release=on_release)
+        sess.ledger.check()
+        late = getattr(policy, "late_events", 0)
+        print(
+            f"{len(released)} window(s) released, "
+            f"{sum(r.records for r in released)} record(s) ingested, "
+            f"{late} late event(s) dropped"
+        )
+        print(
+            f"budget audit: OK — parallel composition over "
+            f"{len(released)} disjoint window(s) spent "
+            f"{sess.ledger.total_spent():g} "
+            f"(configured {scheduler.schedule.configured:g} per window)"
+        )
+        if args.audit:
+            print(_json.dumps(sess.ledger.to_dicts(), indent=2))
     return 0
 
 
@@ -554,6 +772,8 @@ def main(argv=None) -> int:
         return _cmd_query(args)
     if args.command == "store":
         return _cmd_store(args)
+    if args.command == "stream":
+        return _cmd_stream(args)
     if args.command == "obs":
         return _cmd_obs(args)
     log = get_logger("cli")

@@ -25,6 +25,22 @@ Summing ``w`` copies of ``epsilon / w`` in floating point can miss
 sensitivity`` pattern the ratio is exactly 1.0 and the group total is
 exactly ``epsilon``, which is what lets the audit require *exact*
 equality rather than a tolerance.
+
+Composition
+-----------
+Scopes compose **sequentially** by default: a scope's spend is the
+grouped total of its own records, and sibling scopes add up.  A scope
+opened with ``composition="parallel"`` instead models *parallel
+composition over disjoint inputs* (e.g. one DP release per disjoint
+time window): any scope opened inside it on the same thread becomes a
+*child* of the parallel scope rather than a new top-level scope, and
+the parent's spend is its own records plus the **maximum** over its
+children — the epsilon the whole release costs when every child saw a
+disjoint slice of the data.  ``check()`` on a strict parallel scope
+first checks every strict child exactly, then requires the aggregate
+(the max) to equal the parent's configured per-slice epsilon; a
+parallel scope that released nothing (no children, no records) is
+``n/a``, since an empty release costs nothing.
 """
 
 from __future__ import annotations
@@ -112,30 +128,66 @@ class BudgetScope:
 
     ``configured`` is the epsilon the operation claims to satisfy
     (``None`` for the catch-all unscoped bucket); ``strict`` scopes are
-    expected to spend it exactly under sequential composition.
+    expected to spend it exactly.  ``composition`` is ``"sequential"``
+    (spend = own records) or ``"parallel"`` (spend = own records plus
+    the max over ``children``, which are the scopes opened inside this
+    one — disjoint-input composition, see the module docstring).
     """
 
     name: str
     configured: float | None
     strict: bool = True
+    composition: str = "sequential"
     records: list[DrawRecord] = field(default_factory=list)
+    children: list["BudgetScope"] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.composition not in ("sequential", "parallel"):
+            raise LedgerError(
+                f"unknown composition {self.composition!r} "
+                "(expected 'sequential' or 'parallel')"
+            )
 
     def spent(self) -> float:
-        """Total epsilon consumed by the recorded draws."""
-        return _grouped_total(self.records)
+        """Total epsilon consumed by this scope.
+
+        Sequential scopes count their own records only (nested scopes
+        are separate top-level entries, the legacy behaviour).  A
+        parallel scope adds the **maximum** child spend to its own
+        records: under parallel composition over disjoint inputs the
+        release costs the worst single slice, not the sum.
+        """
+        own = _grouped_total(self.records)
+        if self.composition == "parallel" and self.children:
+            return own + max(child.spent() for child in self.children)
+        return own
 
     @property
     def status(self) -> str:
         """``exact`` | ``over`` | ``under`` | ``n/a`` (inf or unscoped)."""
         if self.configured is None or math.isinf(self.configured):
             return "n/a"
+        if (
+            self.composition == "parallel"
+            and not self.children
+            and not self.records
+        ):
+            return "n/a"  # an empty release costs nothing to prove
         spent = self.spent()
         if spent == self.configured:
             return "exact"
         return "over" if spent > self.configured else "under"
 
     def check(self) -> None:
-        """Raise :class:`LedgerError` unless the scope balanced exactly."""
+        """Raise :class:`LedgerError` unless the scope balanced exactly.
+
+        A parallel scope first checks every strict child (each must
+        balance its own configured epsilon exactly), then its own
+        aggregate against the configured per-slice epsilon.
+        """
+        for child in self.children:
+            if child.strict:
+                child.check()
         if self.status in ("exact", "n/a"):
             return
         raise LedgerError(
@@ -155,6 +207,8 @@ class AuditRow:
     spent_max: float
     status: str
     strict: bool
+    composition: str = "sequential"
+    children: int = 0
 
     @property
     def ok(self) -> bool:
@@ -179,10 +233,24 @@ class BudgetLedger:
         return stack
 
     def scope(
-        self, name: str, configured: float | None, strict: bool = True
+        self,
+        name: str,
+        configured: float | None,
+        strict: bool = True,
+        composition: str = "sequential",
     ) -> "_ScopeContext":
-        """Open a budget scope; use as a context manager."""
-        return _ScopeContext(self, BudgetScope(name, configured, strict))
+        """Open a budget scope; use as a context manager.
+
+        ``composition="parallel"`` makes the scope adopt every scope
+        opened inside it (same thread) as a child and account their
+        spends by **max**, the parallel-composition bound over
+        disjoint inputs — one child per disjoint window, each spending
+        the full per-window epsilon, proves the whole stream cost
+        exactly that epsilon.
+        """
+        return _ScopeContext(
+            self, BudgetScope(name, configured, strict, composition)
+        )
 
     def current_scope(self) -> BudgetScope:
         stack = self._stack()
@@ -217,9 +285,10 @@ class BudgetLedger:
             scopes = scopes + [self.unscoped]
         grouped: dict[tuple, list[BudgetScope]] = {}
         for s in scopes:
-            grouped.setdefault((s.name, s.configured, s.strict), []).append(s)
+            key = (s.name, s.configured, s.strict, s.composition)
+            grouped.setdefault(key, []).append(s)
         rows = []
-        for (name, configured, strict), members in grouped.items():
+        for (name, configured, strict, composition), members in grouped.items():
             spents = [m.spent() for m in members]
             statuses = {m.status for m in members}
             status = statuses.pop() if len(statuses) == 1 else "mixed"
@@ -232,6 +301,8 @@ class BudgetLedger:
                     spent_max=max(spents),
                     status=status,
                     strict=strict,
+                    composition=composition,
+                    children=sum(len(m.children) for m in members),
                 )
             )
         return rows
@@ -255,6 +326,8 @@ class BudgetLedger:
                 "spent_max": row.spent_max,
                 "status": row.status,
                 "strict": row.strict,
+                "composition": row.composition,
+                "children": row.children,
             }
             for row in self.audit()
         ]
@@ -270,9 +343,17 @@ class _ScopeContext:
         self.scope = scope
 
     def __enter__(self) -> BudgetScope:
+        stack = self._ledger._stack()
+        parent = stack[-1] if stack else None
         with self._ledger._lock:
-            self._ledger.scopes.append(self.scope)
-        self._ledger._stack().append(self.scope)
+            if parent is not None and parent.composition == "parallel":
+                # Adopted children are accounted through the parent's
+                # max-aggregate, not as top-level scopes (which would
+                # double-count them in total_spent / audit).
+                parent.children.append(self.scope)
+            else:
+                self._ledger.scopes.append(self.scope)
+        stack.append(self.scope)
         return self.scope
 
     def __exit__(self, exc_type, exc, tb) -> bool:

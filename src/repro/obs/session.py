@@ -230,9 +230,21 @@ def record_draw(
     )
 
 
-def budget_scope(name: str, configured: float | None, strict: bool = True):
-    """Open a ledger scope for one logical operation (no-op when disabled)."""
+def budget_scope(
+    name: str,
+    configured: float | None,
+    strict: bool = True,
+    composition: str = "sequential",
+):
+    """Open a ledger scope for one logical operation (no-op when disabled).
+
+    ``composition="parallel"`` adopts scopes opened inside it as
+    children and accounts them by max — parallel composition over
+    disjoint inputs (see :mod:`repro.obs.ledger`).
+    """
     sess = _SESSION
     if sess is None or sess.ledger is None:
         return _NOOP
-    return sess.ledger.scope(name, configured, strict=strict)
+    return sess.ledger.scope(
+        name, configured, strict=strict, composition=composition
+    )

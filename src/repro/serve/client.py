@@ -199,3 +199,48 @@ class QueryClient:
         """A workload of queries, decoded into tables (input order)."""
         payload = self.batch(queries, method=method, dataset=dataset)
         return [decode_table(answer) for answer in payload["answers"]]
+
+    # ------------------------------------------------------------------
+    # Stream windows (store-backed servers)
+    # ------------------------------------------------------------------
+    def windows(self, dataset: str | None = None) -> list[dict]:
+        """Stream windows released for a dataset (oldest first)."""
+        dataset = dataset if dataset is not None else self.dataset
+        if dataset is None:
+            raise RemoteQueryError(
+                "windows() needs a dataset (pass dataset= or construct "
+                "the client with one)"
+            )
+        path = f"/v1/d/{quote(dataset, safe='')}/windows"
+        return self._request(path)["windows"]
+
+    def window_marginal(
+        self,
+        attrs,
+        last: int | None = None,
+        windows=None,
+        method: str | None = None,
+        dataset: str | None = None,
+    ) -> dict:
+        """Time-sliced marginal: per-window answers plus their union.
+
+        ``last`` selects the newest ``k`` windows, ``windows`` explicit
+        window indices; neither selects every released window.
+        """
+        body: dict = {"attrs": [int(a) for a in attrs]}
+        if method is not None:
+            body["method"] = method
+        if last is not None:
+            body["last"] = int(last)
+        if windows is not None:
+            body["windows"] = [int(w) for w in windows]
+        return self._request(
+            self._query_path("windows/marginal", dataset), body
+        )
+
+    def window_union_table(self, attrs, **kwargs) -> MarginalTable:
+        """The union table of a :meth:`window_marginal` call."""
+        payload = self.window_marginal(attrs, **kwargs)
+        return MarginalTable(
+            tuple(payload["attrs"]), payload["union"]["counts"]
+        )

@@ -13,9 +13,10 @@
   is ever dropped** by a reload;
 * :meth:`reload` re-resolves every hosted dataset against the store
   and swaps engines whose published version changed; with ``watch``
-  the router stats the manifest mtime on each lease and reloads
-  automatically, so ``repro store publish`` becomes visible to a
-  running server without any endpoint call.
+  the router stats the manifest mtime on each lease (at most once per
+  ``watch_interval`` seconds) and reloads automatically, so
+  ``repro store publish`` becomes visible to a running server without
+  any endpoint call.
 
 Concurrent lazy builds of the same dataset are single-flighted by a
 per-name build lock; distinct datasets build in parallel.
@@ -25,6 +26,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
+from time import monotonic, time
 
 from repro import obs
 from repro.exceptions import QueryError, StoreError
@@ -82,15 +84,25 @@ class EngineRouter:
         store,
         max_engines: int = DEFAULT_MAX_ENGINES,
         watch: bool = False,
+        watch_interval: float = 0.0,
         **engine_kwargs,
     ):
         from repro.store import SynopsisStore
 
         if isinstance(store, (str, bytes)) or hasattr(store, "__fspath__"):
             store = SynopsisStore(store, create=False)
+        if watch_interval < 0:
+            raise QueryError(
+                f"watch_interval must be >= 0, got {watch_interval}"
+            )
         self.store = store
         self.max_engines = max(1, int(max_engines))
         self.watch = watch
+        #: Minimum seconds between manifest polls under ``watch``.  0
+        #: (the default) stats the manifest on every lease — maximal
+        #: freshness; raise it to bound stat() traffic on hot serving
+        #: paths at the cost of that much publish-visibility latency.
+        self.watch_interval = float(watch_interval)
         self._engine_kwargs = dict(engine_kwargs)
         self._lock = threading.Lock()
         self._hosted: OrderedDict[str, _Hosted] = OrderedDict()
@@ -99,6 +111,9 @@ class EngineRouter:
         self._manifest_mtime = store.manifest_mtime()
         self._swaps = 0
         self._reloads = 0
+        self._last_poll_mono: float | None = None
+        self._last_poll_ts: float | None = None
+        self._last_swap_ts: float | None = None
 
     # ------------------------------------------------------------------
     # Leasing
@@ -110,7 +125,7 @@ class EngineRouter:
         store does not know, so the server can answer 404.
         """
         if self.watch:
-            self.maybe_reload()
+            self._watch_poll()
         while True:
             with self._lock:
                 if self._closed:
@@ -188,10 +203,24 @@ class EngineRouter:
     # ------------------------------------------------------------------
     # Hot swap
     # ------------------------------------------------------------------
+    def _watch_poll(self) -> None:
+        """(watch mode) Poll the manifest, rate-limited by the interval."""
+        now = monotonic()
+        with self._lock:
+            if (
+                self.watch_interval > 0.0
+                and self._last_poll_mono is not None
+                and now - self._last_poll_mono < self.watch_interval
+            ):
+                return
+        self.maybe_reload()
+
     def maybe_reload(self) -> dict | None:
         """Reload iff the store manifest changed since last look."""
         mtime = self.store.manifest_mtime()
         with self._lock:
+            self._last_poll_mono = monotonic()
+            self._last_poll_ts = time()
             if mtime == self._manifest_mtime:
                 return None
         return self.reload()
@@ -246,7 +275,9 @@ class EngineRouter:
                 hosted.retired = True
             retired.append(hosted)
             swapped.append({"from": hosted.info.spec, "to": info.spec})
-            self._swaps += 1
+            with self._lock:
+                self._swaps += 1
+                self._last_swap_ts = time()
             obs.incr("serve.router.swap")
             log.info("hot-swapped %s -> %s", hosted.info.spec, info.spec)
         self._close_retired(retired)
@@ -291,14 +322,18 @@ class EngineRouter:
                 for name, h in self._hosted.items()
             }
             swaps, reloads = self._swaps, self._reloads
+            last_poll, last_swap = self._last_poll_ts, self._last_swap_ts
         obs.set_gauge("serve.router.engines", len(hosted))
         return {
             "store": self.store.stats(),
             "hosted": hosted,
             "max_engines": self.max_engines,
             "watch": self.watch,
+            "watch_interval": self.watch_interval,
             "swaps": swaps,
             "reloads": reloads,
+            "last_poll": last_poll,
+            "last_swap": last_swap,
         }
 
     def engine_stats(self, name: str) -> dict:

@@ -17,7 +17,12 @@ Store-backed (multi-dataset) endpoints, when constructed with
 * ``GET  /v1/datasets`` — every published dataset and what's serving;
 * ``POST /v1/reload``   — re-resolve against the store and hot-swap
   newly published versions with zero dropped in-flight requests;
-* ``GET  /stats``       — router + store statistics.
+* ``GET  /stats``       — router + store statistics;
+* ``GET  /v1/d/{name}/windows`` — stream windows released for the
+  dataset (version, bounds, record count, epsilon);
+* ``POST /v1/d/{name}/windows/marginal`` — time-sliced marginals:
+  one answer per selected window (``last``/``windows`` in the body)
+  plus their record-weighted union (see ``docs/STREAMING.md``).
 
 Telemetry endpoints (any mode):
 
@@ -213,6 +218,22 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(200, payload)
         elif self.path == "/v1/datasets" and self.router is not None:
             self._send_json(200, {"datasets": self.router.datasets()})
+        elif (
+            (routed := self._split_dataset_path(self.path)) is not None
+            and routed[1] == "windows"
+        ):
+            if self.router is None:
+                raise QueryError(
+                    "this server hosts a single source; window listings "
+                    "need a store-backed server (repro store serve)"
+                )
+            from repro.stream.query import list_windows
+
+            name = routed[0]
+            self._send_json(200, {
+                "dataset": name,
+                "windows": list_windows(self.router.store, name),
+            })
         else:
             self._send_error(404, QueryError(f"unknown path {self.path!r}"))
 
@@ -223,7 +244,14 @@ class _Handler(BaseHTTPRequestHandler):
             return None
         rest = path[len("/v1/d/"):]
         name, _, action = rest.rpartition("/")
-        if not name or action not in ("marginal", "batch", "stats"):
+        if name.endswith("/windows") and action == "marginal":
+            name = name[: -len("/windows")]
+            if not name:
+                return None
+            return unquote(name), "windows/marginal"
+        if not name or action not in (
+            "marginal", "batch", "stats", "windows"
+        ):
             return None
         return unquote(name), action
 
@@ -257,6 +285,9 @@ class _Handler(BaseHTTPRequestHandler):
                 "this server hosts a single source; query /v1/marginal "
                 "or /v1/batch instead of per-dataset paths"
             )
+        if action == "windows/marginal":
+            self._dispatch_windows(name)
+            return
         # Per-dataset request counting happens in the engine (which
         # knows its dataset label even for single-source servers).
         with self.router.lease(name) as engine:
@@ -264,6 +295,30 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json(200, engine.stats())
             else:
                 self._dispatch(engine, action)
+
+    def _dispatch_windows(self, name: str) -> None:
+        """``POST /v1/d/{name}/windows/marginal`` — time-sliced query.
+
+        Body: the usual marginal request plus an optional window
+        selection — ``{"last": k}`` for the newest ``k`` windows, or
+        ``{"windows": [i, ...]}`` for explicit window indices (default
+        every released window).  Answers carry one table per window
+        and their record-weighted union.
+        """
+        from repro.stream.query import answer_windows
+
+        body = self._read_json()
+        attrs, method = parse_marginal_request(body)
+        answer = answer_windows(
+            self.router,
+            name,
+            attrs,
+            windows=body.get("windows"),
+            last=body.get("last"),
+            method=method,
+            timeout=self.server.request_timeout,
+        )
+        self._send_json(200, answer.to_json())
 
     def _dispatch(self, engine: QueryEngine, action: str) -> None:
         timeout = self.server.request_timeout

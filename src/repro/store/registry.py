@@ -309,6 +309,28 @@ class SynopsisStore:
         self._export_gauges(manifest)
         return dropped
 
+    def prune_matching(
+        self, pattern: str = "*", keep_last: int = 1
+    ) -> dict[str, list[VersionInfo]]:
+        """:meth:`prune` every dataset whose name matches a glob.
+
+        The retention pass streaming publishers run after each window:
+        ``prune_matching("clicks*", keep_last=24)`` keeps each matching
+        dataset's newest 24 versions (pinned versions always survive).
+        Returns ``{name: dropped_versions}`` for datasets that lost
+        anything; the dropped objects become garbage for :meth:`gc`.
+        """
+        import fnmatch
+
+        dropped: dict[str, list[VersionInfo]] = {}
+        for entry in self.entries():
+            if not fnmatch.fnmatchcase(entry.name, pattern):
+                continue
+            gone = self.prune(entry.name, keep_last=keep_last)
+            if gone:
+                dropped[entry.name] = gone
+        return dropped
+
     def gc(self, tmp_age_s: float = DEFAULT_TMP_AGE_S) -> dict:
         """Sweep unreferenced objects and stale temp files.
 

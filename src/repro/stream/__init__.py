@@ -1,0 +1,54 @@
+"""repro.stream: continuous ingestion, windowed DP releases, live serving.
+
+The streaming vertical over the PriView pipeline: events flow into
+tumbling windows (:mod:`~repro.stream.windows`), each closed window is
+fitted under a per-window epsilon from a :class:`BudgetSchedule` and
+auto-published to the synopsis store (:mod:`~repro.stream.scheduler`),
+and released windows are queryable per-slice or as last-``k`` unions
+through the ordinary serving stack (:mod:`~repro.stream.query`).
+Disjoint windows compose in parallel, so the whole stream costs one
+window's epsilon — and the budget ledger proves it exactly.
+"""
+
+from repro.stream.events import (
+    Event,
+    StreamError,
+    as_event,
+    iter_events,
+    read_jsonl_events,
+)
+from repro.stream.query import (
+    WindowsAnswer,
+    WindowSlice,
+    answer_windows,
+    list_windows,
+)
+from repro.stream.schedule import BudgetSchedule
+from repro.stream.scheduler import WindowRecord, WindowScheduler
+from repro.stream.windows import (
+    ClosedWindow,
+    CountWindowPolicy,
+    TimeWindowPolicy,
+    WindowShard,
+    iter_windows,
+)
+
+__all__ = [
+    "BudgetSchedule",
+    "ClosedWindow",
+    "CountWindowPolicy",
+    "Event",
+    "StreamError",
+    "TimeWindowPolicy",
+    "WindowRecord",
+    "WindowScheduler",
+    "WindowShard",
+    "WindowsAnswer",
+    "WindowSlice",
+    "answer_windows",
+    "as_event",
+    "iter_events",
+    "iter_windows",
+    "list_windows",
+    "read_jsonl_events",
+]

@@ -1,0 +1,103 @@
+"""Event normalisation for the streaming ingestion layer.
+
+An *event* is one record of the evolving dataset: the set of binary
+attributes ("items", transaction-style — the same shape
+:meth:`~repro.marginals.dataset.BinaryDataset.from_transactions`
+consumes) plus an optional event time.  Producers hand the ingestor
+any of:
+
+* a bare iterable of item ids — ``[0, 3, 5]`` — untimed;
+* a ``(items, time)`` pair — ``([0, 3, 5], 17.25)``;
+* a mapping — ``{"items": [0, 3, 5], "ts": 17.25}`` (``"time"`` and
+  ``"event_time"`` are accepted aliases for ``"ts"``);
+* JSON lines of either of the first two shapes via
+  :func:`read_jsonl_events`.
+
+Item ids outside ``range(num_attributes)`` are ignored downstream
+(the paper's top-K preprocessing convention), and an item repeated
+inside one event still sets a single 1.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.exceptions import ReproError
+
+
+class StreamError(ReproError):
+    """Malformed events, windows or stream configuration."""
+
+
+@dataclass(frozen=True)
+class Event:
+    """One normalised stream record."""
+
+    items: tuple[int, ...]
+    time: float | None = None
+
+
+_TIME_KEYS = ("ts", "time", "event_time")
+
+
+def as_event(obj) -> Event:
+    """Normalise any accepted producer shape into an :class:`Event`."""
+    if isinstance(obj, Event):
+        return obj
+    if isinstance(obj, dict):
+        if "items" not in obj:
+            raise StreamError(f"event object needs an 'items' key: {obj!r}")
+        time = None
+        for key in _TIME_KEYS:
+            if obj.get(key) is not None:
+                time = float(obj[key])
+                break
+        return Event(_as_items(obj["items"]), time)
+    if (
+        isinstance(obj, tuple)
+        and len(obj) == 2
+        and not isinstance(obj[1], (list, tuple, set, frozenset))
+        and (obj[1] is None or isinstance(obj[1], (int, float)))
+        and isinstance(obj[0], (list, tuple, set, frozenset))
+    ):
+        items, time = obj
+        return Event(_as_items(items), None if time is None else float(time))
+    return Event(_as_items(obj), None)
+
+
+def _as_items(items) -> tuple[int, ...]:
+    try:
+        return tuple(int(item) for item in items)
+    except (TypeError, ValueError) as exc:
+        raise StreamError(
+            f"event items must be an iterable of integers, got {items!r}"
+        ) from exc
+
+
+def iter_events(source):
+    """Yield normalised :class:`Event` objects from any producer."""
+    for obj in source:
+        yield as_event(obj)
+
+
+def read_jsonl_events(path):
+    """Yield events from a JSON-lines file, one event per line.
+
+    Each line is a JSON array of item ids or an object with ``items``
+    (+ optional ``ts``/``time``/``event_time``).  Blank lines are
+    skipped; malformed lines raise :class:`StreamError` with the line
+    number, since silently dropping records would bias every window.
+    """
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                blob = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise StreamError(
+                    f"{path}:{lineno}: invalid JSON event: {exc}"
+                ) from exc
+            yield as_event(blob)

@@ -1,0 +1,64 @@
+"""Per-window privacy-budget schedules.
+
+Disjoint tumbling windows compose **in parallel**: each window's
+release spends its epsilon against a different slice of the data, so
+the stream as a whole costs the *maximum* per-window epsilon, not the
+sum.  A :class:`BudgetSchedule` fixes the per-window epsilon up front
+and exposes the parallel-composition total (:attr:`configured`) the
+scheduler promises to the ledger — ``ledger.check()`` then proves the
+promise was honoured exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.stream.events import StreamError
+
+
+@dataclass(frozen=True)
+class BudgetSchedule:
+    """Epsilon assignment for a stream of disjoint windows.
+
+    Parameters
+    ----------
+    epsilon_per_window:
+        The epsilon every window's release spends.  ``math.inf`` is
+        allowed (noise-free releases, used by exactness tests).
+    overrides:
+        Optional ``{window_index: epsilon}`` exceptions.  The
+        parallel-composition total is the max over the base and all
+        overrides — note the audit is only *exact* if some released
+        window actually spends that max, so overrides above the base
+        should be reserved for windows guaranteed to be non-empty.
+    """
+
+    epsilon_per_window: float
+    overrides: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.epsilon_per_window <= 0:
+            raise StreamError(
+                f"epsilon_per_window must be positive, got "
+                f"{self.epsilon_per_window}"
+            )
+        for index, epsilon in self.overrides.items():
+            if epsilon <= 0:
+                raise StreamError(
+                    f"override epsilon for window {index} must be "
+                    f"positive, got {epsilon}"
+                )
+
+    def epsilon_for(self, index: int) -> float:
+        """The epsilon window ``index`` may spend."""
+        return float(self.overrides.get(index, self.epsilon_per_window))
+
+    @property
+    def configured(self) -> float:
+        """The stream's total cost under parallel composition (max)."""
+        epsilons = [self.epsilon_per_window, *self.overrides.values()]
+        finite = [e for e in epsilons if not math.isinf(e)]
+        if not finite:
+            return math.inf
+        return float(max(finite))

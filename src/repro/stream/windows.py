@@ -1,0 +1,268 @@
+"""Window policies and per-window bit-packed shards.
+
+The ingestion driver (:func:`iter_windows`) routes a stream of events
+into tumbling windows and yields one :class:`ClosedWindow` — carrying
+a bit-sliced :class:`~repro.kernels.packed.PackedDataset` shard — per
+closed window, in close order.  Two policies:
+
+* :class:`CountWindowPolicy` — every ``size`` accepted events start a
+  new window; window bounds are event-sequence numbers.  Count
+  windows can never see a late event.
+* :class:`TimeWindowPolicy` — event-time tumbling windows of
+  ``width`` seconds, closed by a watermark that trails the maximum
+  event time seen by ``lateness`` seconds.  Events older than the
+  watermark's closed horizon are *late*: they are counted
+  (``stream.late_events``, :attr:`TimeWindowPolicy.late_events`) and
+  dropped rather than silently mutating an already-released window —
+  a released DP synopsis is immutable, so re-opening it would either
+  leak budget or corrupt the ledger's parallel-composition audit.
+
+Shards are packed **incrementally**: events accumulate into a small
+row buffer that is bit-packed (:func:`repro.kernels.packed.
+pack_columns`) every ``chunk_records`` rows, so a window of any size
+streams through a fixed working set and closes into a ready
+:class:`PackedDataset` without ever materialising the `(N, d)` uint8
+matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import obs
+from repro.kernels.packed import PackedDataset, pack_columns
+from repro.stream.events import Event, StreamError, iter_events
+
+#: Rows buffered before an incremental pack.  Must be a multiple of 64
+#: so every full block packs to whole words and blocks concatenate
+#: without bit shifting; 8192 rows x d=64 is a ~512 KiB working set.
+DEFAULT_CHUNK_RECORDS = 8192
+
+
+class WindowShard:
+    """One open window's records, bit-packed incrementally."""
+
+    def __init__(
+        self,
+        num_attributes: int,
+        name: str = "window",
+        chunk_records: int = DEFAULT_CHUNK_RECORDS,
+    ):
+        if num_attributes < 1:
+            raise StreamError(
+                f"num_attributes must be >= 1, got {num_attributes}"
+            )
+        if chunk_records < 64 or chunk_records % 64:
+            raise StreamError(
+                f"chunk_records must be a positive multiple of 64, "
+                f"got {chunk_records}"
+            )
+        self.num_attributes = int(num_attributes)
+        self.name = name
+        self._chunk = int(chunk_records)
+        self._buffer = np.zeros((self._chunk, num_attributes), dtype=np.uint8)
+        self._fill = 0
+        self._blocks: list[np.ndarray] = []
+        self._records = 0
+
+    @property
+    def num_records(self) -> int:
+        return self._records
+
+    def add(self, event: Event) -> None:
+        """Append one event's row (out-of-range items ignored)."""
+        row = self._buffer[self._fill]
+        row[:] = 0
+        for item in event.items:
+            if 0 <= item < self.num_attributes:
+                row[item] = 1
+        self._fill += 1
+        self._records += 1
+        if self._fill == self._chunk:
+            self._blocks.append(pack_columns(self._buffer))
+            self._fill = 0
+
+    def finish(self) -> PackedDataset:
+        """Close the shard into a :class:`PackedDataset`."""
+        blocks = list(self._blocks)
+        if self._fill:
+            blocks.append(pack_columns(self._buffer[: self._fill]))
+        if blocks:
+            words = np.concatenate(blocks, axis=1)
+        else:
+            words = np.zeros((self.num_attributes, 0), dtype=np.uint64)
+        return PackedDataset(words, self._records, name=self.name)
+
+
+class CountWindowPolicy:
+    """Tumbling windows of ``size`` events each."""
+
+    kind = "count"
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise StreamError(f"window size must be >= 1, got {size}")
+        self.size = int(size)
+        self.late_events = 0
+        self._seen = 0
+        self._closable: list[int] = []
+
+    def route(self, event: Event) -> int | None:
+        index = self._seen // self.size
+        if self._seen and self._seen % self.size == 0:
+            self._closable.append(index - 1)
+        self._seen += 1
+        return index
+
+    def pending_close(self) -> list[int]:
+        closable, self._closable = self._closable, []
+        return closable
+
+    def bounds(self, index: int) -> tuple[float, float]:
+        """Window bounds in event-sequence coordinates."""
+        return float(index * self.size), float((index + 1) * self.size)
+
+
+class TimeWindowPolicy:
+    """Event-time tumbling windows with a trailing watermark.
+
+    Window ``i`` spans ``[origin + i*width, origin + (i+1)*width)`` and
+    closes once the watermark — the maximum event time seen minus
+    ``lateness`` — passes its end.  Events targeting a closed window
+    are dropped and counted in :attr:`late_events`.
+    """
+
+    kind = "time"
+
+    def __init__(
+        self, width: float, lateness: float = 0.0, origin: float = 0.0
+    ):
+        if width <= 0:
+            raise StreamError(f"window width must be > 0, got {width}")
+        if lateness < 0:
+            raise StreamError(f"lateness must be >= 0, got {lateness}")
+        self.width = float(width)
+        self.lateness = float(lateness)
+        self.origin = float(origin)
+        self.late_events = 0
+        self._max_time: float | None = None
+        #: Windows strictly below this index are closed.
+        self._close_bound = None
+        self._closable: list[int] = []
+
+    @property
+    def watermark(self) -> float | None:
+        if self._max_time is None:
+            return None
+        return self._max_time - self.lateness
+
+    def route(self, event: Event) -> int | None:
+        if event.time is None:
+            raise StreamError(
+                "time-window policy needs a timestamp on every event "
+                "(use dict events with 'ts', or a count policy)"
+            )
+        index = int(np.floor((event.time - self.origin) / self.width))
+        if self._close_bound is not None and index < self._close_bound:
+            self.late_events += 1
+            obs.incr("stream.late_events")
+            return None
+        if self._max_time is None or event.time > self._max_time:
+            self._max_time = event.time
+            watermark = self.watermark
+            obs.set_gauge("stream.watermark", watermark)
+            bound = int(np.floor((watermark - self.origin) / self.width))
+            if self._close_bound is None or bound > self._close_bound:
+                start = self._close_bound if self._close_bound is not None else bound
+                self._closable.extend(range(start, bound))
+                self._close_bound = bound
+        return index
+
+    def pending_close(self) -> list[int]:
+        closable, self._closable = self._closable, []
+        return closable
+
+    def bounds(self, index: int) -> tuple[float, float]:
+        return (
+            self.origin + index * self.width,
+            self.origin + (index + 1) * self.width,
+        )
+
+
+@dataclass(frozen=True)
+class ClosedWindow:
+    """One closed window, ready to fit: metadata + bit-packed shard."""
+
+    index: int
+    start: float
+    end: float
+    shard: PackedDataset = None
+    kind: str = "count"
+
+    @property
+    def num_records(self) -> int:
+        return self.shard.num_records
+
+    def meta(self) -> dict:
+        """The window block recorded in store manifests."""
+        return {
+            "index": self.index,
+            "kind": self.kind,
+            "start": self.start,
+            "end": self.end,
+            "records": self.num_records,
+        }
+
+
+def iter_windows(
+    events,
+    policy,
+    num_attributes: int,
+    name: str = "stream",
+    chunk_records: int = DEFAULT_CHUNK_RECORDS,
+):
+    """Route ``events`` through ``policy``; yield closed windows in order.
+
+    Windows that received no events release nothing (they are skipped,
+    not yielded as empty shards).  At stream end every still-open
+    window is flushed in index order, so a finite stream always
+    releases its tail.
+    """
+    shards: dict[int, WindowShard] = {}
+
+    def close(index: int) -> ClosedWindow | None:
+        shard = shards.pop(index, None)
+        if shard is None:
+            return None
+        start, end = policy.bounds(index)
+        obs.incr("stream.windows")
+        return ClosedWindow(
+            index=index,
+            start=start,
+            end=end,
+            shard=shard.finish(),
+            kind=policy.kind,
+        )
+
+    for event in iter_events(events):
+        obs.incr("stream.events")
+        index = policy.route(event)
+        if index is not None:
+            shard = shards.get(index)
+            if shard is None:
+                shard = shards[index] = WindowShard(
+                    num_attributes,
+                    name=f"{name}[{index}]",
+                    chunk_records=chunk_records,
+                )
+            shard.add(event)
+        for closable in policy.pending_close():
+            closed = close(closable)
+            if closed is not None:
+                yield closed
+    for index in sorted(shards):
+        closed = close(index)
+        if closed is not None:
+            yield closed

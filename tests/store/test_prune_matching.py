@@ -1,0 +1,106 @@
+"""Glob retention: ``prune_matching`` and the ``store prune`` verb."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.store import SynopsisStore
+
+from .conftest import fit_synopsis
+
+
+def _fill(store, name, versions, seed0=0):
+    # Distinct seeds everywhere: the store is content-addressed, so
+    # identical synopses would share objects across datasets and make
+    # gc counts misleading.
+    for seed in range(seed0, seed0 + versions):
+        store.publish(name, fit_synopsis(d=8, seed=seed))
+
+
+class TestPruneMatching:
+    def test_prunes_only_matching_datasets(self, store):
+        _fill(store, "clicks-eu", 3)
+        _fill(store, "clicks-us", 3, seed0=10)
+        _fill(store, "adult", 3, seed0=20)
+        dropped = store.prune_matching("clicks-*", keep_last=1)
+        assert sorted(dropped) == ["clicks-eu", "clicks-us"]
+        assert all(len(gone) == 2 for gone in dropped.values())
+        manifest = store.manifest()
+        assert len(manifest.datasets["clicks-eu"].versions) == 1
+        assert len(manifest.datasets["clicks-us"].versions) == 1
+        assert len(manifest.datasets["adult"].versions) == 3
+
+    def test_keeps_newest_and_pinned(self, store):
+        _fill(store, "clicks", 5)
+        store.pin("clicks", 1)
+        dropped = store.prune_matching("clicks", keep_last=2)
+        kept = [v.version for v in store.manifest().datasets["clicks"].versions]
+        assert kept == [1, 4, 5]  # pinned v1 survives alongside newest 2
+        assert [v.version for v in dropped["clicks"]] == [2, 3]
+
+    def test_no_match_is_a_noop(self, store):
+        _fill(store, "adult", 2)
+        assert store.prune_matching("nope-*", keep_last=1) == {}
+        assert len(store.manifest().datasets["adult"].versions) == 2
+
+    def test_dropped_versions_become_gc_garbage(self, store):
+        _fill(store, "clicks", 3)
+        store.prune_matching("clicks", keep_last=1)
+        report = store.gc(tmp_age_s=0.0)
+        assert len(report["removed_objects"]) == 2
+        # The surviving version still loads and verifies.
+        assert store.verify()["clean"]
+        synopsis = store.load_version(store.resolve("clicks"))
+        assert synopsis.num_attributes == 8
+
+    def test_version_numbering_continues_after_prune(self, store):
+        _fill(store, "clicks", 3)
+        store.prune_matching("clicks", keep_last=1)
+        info = store.publish("clicks", fit_synopsis(d=8, seed=9))
+        assert info.version == 4  # never reuses pruned numbers
+
+
+class TestPruneCli:
+    @pytest.fixture
+    def store_root(self, tmp_path):
+        root = tmp_path / "registry"
+        store = SynopsisStore(root)
+        _fill(store, "clicks-eu", 3)
+        _fill(store, "adult", 2, seed0=10)
+        return str(root)
+
+    def test_prune_by_glob_with_gc(self, store_root, capsys):
+        assert main([
+            "store", "prune", "--store", store_root,
+            "--keep-last", "1", "--match", "clicks-*", "--gc",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "clicks-eu: dropped 2 version(s) (v1, v2)" in out
+        assert "gc: removed 2 object(s)" in out
+        store = SynopsisStore(store_root, create=False)
+        assert len(store.manifest().datasets["clicks-eu"].versions) == 1
+        assert len(store.manifest().datasets["adult"].versions) == 2
+
+    def test_prune_single_name(self, store_root, capsys):
+        assert main([
+            "store", "prune", "--store", store_root, "adult",
+            "--keep-last", "1",
+        ]) == 0
+        assert "adult: dropped 1 version(s)" in capsys.readouterr().out
+
+    def test_prune_nothing_to_do(self, store_root, capsys):
+        assert main([
+            "store", "prune", "--store", store_root, "adult",
+            "--keep-last", "5",
+        ]) == 0
+        assert "nothing to prune" in capsys.readouterr().out
+
+    def test_prune_requires_exactly_one_target(self, store_root):
+        with pytest.raises(SystemExit):
+            main(["store", "prune", "--store", store_root, "--keep-last", "1"])
+        with pytest.raises(SystemExit):
+            main([
+                "store", "prune", "--store", store_root, "adult",
+                "--keep-last", "1", "--match", "a*",
+            ])

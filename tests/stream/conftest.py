@@ -1,0 +1,30 @@
+"""Shared fixtures for the streaming-subsystem tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.store import SynopsisStore
+
+
+@pytest.fixture
+def store(tmp_path):
+    return SynopsisStore(tmp_path / "store")
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+def make_events(rng, n: int, d: int = 6, p: float = 0.4, dt: float | None = None):
+    """``n`` random transaction events, optionally timestamped every ``dt``."""
+    events = []
+    for i in range(n):
+        items = [int(x) for x in np.nonzero(rng.random(d) < p)[0]]
+        if dt is None:
+            events.append(items)
+        else:
+            events.append({"items": items, "ts": i * dt})
+    return events

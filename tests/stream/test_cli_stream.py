@@ -1,0 +1,110 @@
+"""CLI coverage for the ``stream`` verb."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.store import SynopsisStore
+
+
+@pytest.fixture
+def events_path(tmp_path):
+    rng = np.random.default_rng(3)
+    path = tmp_path / "events.jsonl"
+    with path.open("w") as handle:
+        for i in range(300):
+            items = [int(x) for x in np.nonzero(rng.random(6) < 0.4)[0]]
+            handle.write(json.dumps({"items": items, "ts": i * 0.01}) + "\n")
+    return str(path)
+
+
+@pytest.fixture
+def store_root(tmp_path):
+    return str(tmp_path / "registry")
+
+
+def test_stream_run_count_windows(store_root, events_path, capsys):
+    assert main([
+        "stream", "run", "clicks", "--store", store_root,
+        "--input", events_path, "--num-attributes", "6",
+        "--epsilon", "1.0", "--window-size", "100", "--view-width", "4",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "released window 0 as clicks@1" in out
+    assert "released window 2 as clicks@3" in out
+    assert "3 window(s) released, 300 record(s) ingested" in out
+    assert "budget audit: OK" in out
+    store = SynopsisStore(store_root, create=False)
+    assert store.resolve("clicks").version == 3
+    assert store.resolve("clicks").extra["window"]["kind"] == "count"
+
+
+def test_stream_run_time_windows_with_retention(
+    store_root, events_path, capsys
+):
+    assert main([
+        "stream", "run", "clicks", "--store", store_root,
+        "--input", events_path, "--num-attributes", "6",
+        "--epsilon", "2.0", "--window-seconds", "1.0",
+        "--lateness", "0.1", "--view-width", "4", "--keep-last", "2",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "0 late event(s) dropped" in out
+    store = SynopsisStore(store_root, create=False)
+    versions = store.manifest().datasets["clicks"].versions
+    assert len(versions) == 2  # retention pruned the older windows
+    assert versions[-1].extra["window"]["kind"] == "time"
+
+
+def test_stream_run_audit_flag_prints_ledger(store_root, events_path, capsys):
+    assert main([
+        "stream", "run", "clicks", "--store", store_root,
+        "--input", events_path, "--num-attributes", "6",
+        "--epsilon", "1.0", "--window-size", "150", "--view-width", "4",
+        "--audit",
+    ]) == 0
+    out = capsys.readouterr().out
+    audit = json.loads(out[out.index("[\n"):])
+    [row] = audit
+    assert row["scope"] == "stream.windows"
+    assert row["composition"] == "parallel"
+    assert row["children"] == 2
+    assert row["status"] == "exact"
+
+
+def test_stream_status(store_root, events_path, capsys):
+    main([
+        "stream", "run", "clicks", "--store", store_root,
+        "--input", events_path, "--num-attributes", "6",
+        "--epsilon", "1.0", "--window-size", "100", "--view-width", "4",
+    ])
+    capsys.readouterr()
+    assert main(["stream", "status", "clicks", "--store", store_root]) == 0
+    out = capsys.readouterr().out
+    assert "total: 3 window(s)" in out
+    assert "epsilon=1.0" in out
+
+    assert main([
+        "stream", "status", "clicks", "--store", store_root, "--json",
+    ]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert [w["index"] for w in payload["windows"]] == [0, 1, 2]
+
+
+def test_stream_status_empty(store_root, capsys):
+    SynopsisStore(store_root)  # create an empty store
+    assert main(["stream", "status", "nope", "--store", store_root]) == 0
+    assert "no released windows" in capsys.readouterr().out
+
+
+def test_stream_run_requires_a_window_policy(store_root, events_path):
+    with pytest.raises(SystemExit):
+        main([
+            "stream", "run", "clicks", "--store", store_root,
+            "--input", events_path, "--num-attributes", "6",
+            "--epsilon", "1.0",
+        ])

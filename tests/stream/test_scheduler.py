@@ -1,0 +1,178 @@
+"""WindowScheduler: fit, publish, audit, and retention."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.exceptions import LedgerError
+from repro.stream import (
+    BudgetSchedule,
+    CountWindowPolicy,
+    StreamError,
+    WindowScheduler,
+)
+
+from .conftest import make_events
+
+
+def test_budget_schedule_constant_and_overrides():
+    schedule = BudgetSchedule(0.5)
+    assert schedule.epsilon_for(0) == 0.5
+    assert schedule.epsilon_for(99) == 0.5
+    assert schedule.configured == 0.5
+    tiered = BudgetSchedule(0.5, overrides={3: 1.0})
+    assert tiered.epsilon_for(3) == 1.0
+    assert tiered.epsilon_for(4) == 0.5
+    assert tiered.configured == 1.0
+    assert BudgetSchedule(math.inf).configured == math.inf
+
+
+def test_budget_schedule_rejects_nonpositive():
+    with pytest.raises(StreamError):
+        BudgetSchedule(0.0)
+    with pytest.raises(StreamError):
+        BudgetSchedule(1.0, overrides={0: -1.0})
+
+
+def test_scheduler_releases_each_window_as_a_version(store, rng):
+    events = make_events(rng, 600)
+    scheduler = WindowScheduler(
+        store, "clicks", 6, BudgetSchedule(1.0),
+        CountWindowPolicy(200), view_width=4,
+    )
+    released = scheduler.run(events)
+    assert [r.index for r in released] == [0, 1, 2]
+    assert [r.version for r in released] == [1, 2, 3]
+    assert all(r.records == 200 for r in released)
+    assert all(r.epsilon == 1.0 for r in released)
+
+    entry = store.manifest().datasets["clicks"]
+    assert len(entry.versions) == 3
+    for info, record in zip(entry.versions, released):
+        window = info.extra["window"]
+        assert window["index"] == record.index
+        assert window["records"] == 200
+        assert window["epsilon"] == 1.0
+        assert window["kind"] == "count"
+        assert (window["start"], window["end"]) == (
+            record.start, record.end,
+        )
+        assert info.epsilon == 1.0
+        assert info.fit_seconds is not None
+
+
+def test_scheduler_parallel_audit_is_exact(store, rng):
+    """The acceptance claim: N disjoint windows cost ONE window's
+    epsilon, proven exactly by the ledger's parallel composition."""
+    events = make_events(rng, 600)
+    with obs.session() as sess:
+        scheduler = WindowScheduler(
+            store, "clicks", 6, BudgetSchedule(0.7),
+            CountWindowPolicy(200), view_width=4,
+        )
+        released = scheduler.run(events)
+        assert len(released) == 3
+        sess.ledger.check()  # raises unless every strict scope balances
+        [parent] = sess.ledger.scopes
+        assert parent.name == "stream.windows"
+        assert parent.composition == "parallel"
+        assert len(parent.children) == 3
+        assert all(c.spent() == 0.7 for c in parent.children)
+        assert parent.spent() == 0.7  # max over windows, not 3 * 0.7
+        assert sess.ledger.total_spent() == 0.7
+
+
+def test_scheduler_audit_catches_overspending_mechanism(store, rng):
+    """A factory spending more than the schedule handed it fails check().
+
+    The mechanism's own fit scope balances (it spent what *it* was
+    configured with), but the stream scope's max-aggregate exceeds the
+    schedule's per-window promise — the parent catches the lie.
+    """
+    from repro.core.priview import PriView
+    from repro.covering.repository import best_design
+
+    design = best_design(6, 4, 2)
+    events = make_events(rng, 200)
+    with obs.session() as sess:
+        scheduler = WindowScheduler(
+            store, "clicks", 6, BudgetSchedule(1.0), CountWindowPolicy(200),
+            mechanism_factory=lambda eps, w: PriView(
+                eps * 2, design=design, seed=w.index
+            ),
+        )
+        scheduler.run(events)
+        with pytest.raises(LedgerError, match="stream.windows"):
+            sess.ledger.check()
+
+
+def test_scheduler_keep_last_retention(store, rng):
+    events = make_events(rng, 1000)
+    scheduler = WindowScheduler(
+        store, "clicks", 6, BudgetSchedule(1.0),
+        CountWindowPolicy(200), view_width=4, keep_last=2,
+    )
+    released = scheduler.run(events)
+    assert len(released) == 5
+    entry = store.manifest().datasets["clicks"]
+    assert [v.version for v in entry.versions] == [4, 5]
+    # Serving default is the newest window.
+    assert store.resolve("clicks").version == 5
+
+
+def test_scheduler_retention_spares_pinned(store, rng):
+    scheduler = WindowScheduler(
+        store, "clicks", 6, BudgetSchedule(1.0),
+        CountWindowPolicy(100), view_width=4, keep_last=1,
+    )
+    scheduler.run(make_events(rng, 200))
+    store.pin("clicks", 2)
+    scheduler.run(make_events(rng, 200))
+    entry = store.manifest().datasets["clicks"]
+    assert 2 in {v.version for v in entry.versions}  # pinned survived
+
+
+def test_scheduler_seeded_runs_are_reproducible(store, tmp_path, rng):
+    from repro.store import SynopsisStore
+
+    events = make_events(rng, 400)
+    kwargs = dict(view_width=4, seed=42)
+    a = WindowScheduler(
+        store, "clicks", 6, BudgetSchedule(1.0),
+        CountWindowPolicy(200), **kwargs,
+    ).run(list(events))
+    other = SynopsisStore(tmp_path / "other")
+    b = WindowScheduler(
+        other, "clicks", 6, BudgetSchedule(1.0),
+        CountWindowPolicy(200), **kwargs,
+    ).run(list(events))
+    for ra, rb in zip(a, b):
+        ta = store.load_version(store.resolve(f"clicks@{ra.version}"))
+        tb = other.load_version(other.resolve(f"clicks@{rb.version}"))
+        np.testing.assert_array_equal(
+            ta.marginal((0, 1)).counts, tb.marginal((0, 1)).counts
+        )
+
+
+def test_scheduler_accepts_bare_float_epsilon(store, rng):
+    scheduler = WindowScheduler(
+        store, "clicks", 6, 1.5, CountWindowPolicy(100), view_width=4,
+    )
+    released = scheduler.run(make_events(rng, 100))
+    assert released[0].epsilon == 1.5
+
+
+def test_scheduler_empty_stream_releases_nothing(store):
+    with obs.session() as sess:
+        scheduler = WindowScheduler(
+            store, "clicks", 6, BudgetSchedule(1.0),
+            CountWindowPolicy(100), view_width=4,
+        )
+        assert scheduler.run([]) == []
+        sess.ledger.check()  # empty parallel scope is n/a, not a failure
+        assert sess.ledger.total_spent() == 0.0
+    assert store.manifest().datasets.get("clicks") is None
