@@ -69,6 +69,13 @@ DEFAULT_CHECKS = {
         ("union_query/warm_mean_ms", "lower", 3.00),
         ("union_query/warm_p95_ms", "lower", 3.00),
     ],
+    "BENCH_synth.json": [
+        # accuracy bar is absolute (1.5x the synopsis noise error);
+        # the gate also catches creeping drift against the baseline
+        ("accuracy/l1_ratio", "lower", 0.40),
+        ("sampling/records_per_s", "higher", 0.50),
+        ("synthesis/fit_s", "lower", 3.00),
+    ],
 }
 
 

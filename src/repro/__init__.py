@@ -51,6 +51,9 @@ Package map
 ``repro.store``
     Versioned, multi-tenant synopsis registry: content-addressed
     artifacts, atomic publish, integrity checks (``docs/STORE.md``).
+``repro.synth``
+    Record-level synthetic data from any synopsis (PrivSyn-style
+    gradual updating; zero extra budget — ``docs/SYNTHESIS.md``).
 ``repro.obs``
     Tracing spans, pipeline counters, and the privacy-budget ledger
     (see ``docs/OBSERVABILITY.md``); inert unless a session is active.
@@ -62,11 +65,15 @@ from repro.baselines.base import MarginalSource, Mechanism
 from repro.kernels import PackedDataset, fit_defaults, set_fit_defaults
 from repro.marginals import (
     AttrSet,
+    Attribute,
     BinaryDataset,
+    Domain,
     FullContingencyTable,
     MarginalTable,
+    as_domain,
 )
 from repro.mechanisms import PrivacyBudget
+from repro.synth import Synthesizer, SyntheticRecords, synthesize
 
 __version__ = "1.1.0"
 
@@ -75,14 +82,20 @@ __all__ = [
     "PriViewSynopsis",
     "CoveringDesign",
     "AttrSet",
+    "Attribute",
     "BinaryDataset",
+    "Domain",
     "FullContingencyTable",
     "MarginalSource",
     "MarginalTable",
     "Mechanism",
     "PackedDataset",
     "PrivacyBudget",
+    "Synthesizer",
+    "SyntheticRecords",
+    "as_domain",
     "fit_defaults",
     "set_fit_defaults",
+    "synthesize",
     "__version__",
 ]

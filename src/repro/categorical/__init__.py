@@ -10,12 +10,17 @@ sections.  Section 4.7 sketches the extension to attributes with
   the same projection / consistency-update operations, so the *binary*
   consistency procedure of Section 4.4 applies verbatim;
 * Ripple's neighbourhood becomes "change one attribute to another
-  value" (:mod:`repro.categorical.nonnegativity`);
+  value" (:func:`repro.core.nonnegativity.categorical_ripple`);
 * view selection bounds the *cell count* per view using the
   Section 4.7 ``s`` guideline instead of the attribute count
   (:mod:`repro.categorical.views`);
 * maximum-entropy reconstruction runs the same IPF, over mixed-radix
-  projections (:mod:`repro.categorical.reconstruction`).
+  projections (:mod:`repro.core.reconstruction.categorical`).
+
+The Ripple and reconstruction implementations live in the shared
+``repro.core`` registry; the old private copies here
+(``repro.categorical.nonnegativity`` / ``.reconstruction``) remain as
+deprecated import shims.
 """
 
 from repro.categorical.dataset import CategoricalDataset

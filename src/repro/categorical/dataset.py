@@ -11,9 +11,15 @@ from repro.exceptions import DimensionError
 
 class CategoricalDataset:
     """An ``N x d`` dataset; attribute ``j`` takes values in
-    ``range(arities[j])``."""
+    ``range(arities[j])``.
 
-    def __init__(self, data, arities, name: str = "categorical"):
+    ``domain`` optionally attaches the richer
+    :class:`~repro.marginals.domain.Domain` schema (names, kinds, bin
+    edges) for the same attributes; its arities must match.  Fitted
+    synopses and record-level synthesis carry it forward.
+    """
+
+    def __init__(self, data, arities, name: str = "categorical", domain=None):
         arr = np.asarray(data, dtype=np.int64)
         if arr.ndim != 2:
             raise DimensionError(f"data must be 2-D, got shape {arr.shape}")
@@ -31,8 +37,30 @@ class CategoricalDataset:
                 raise DimensionError(
                     f"column {j} has values outside range({b})"
                 )
+        if domain is not None and tuple(domain.arities) != self.arities:
+            raise DimensionError(
+                f"domain arities {tuple(domain.arities)} do not match "
+                f"dataset arities {self.arities}"
+            )
         self._data = arr
         self.name = name
+        self.domain = domain
+
+    @classmethod
+    def from_columns(
+        cls, columns, domain, name: str = "categorical"
+    ) -> "CategoricalDataset":
+        """Encode raw attribute values through a Domain's binning.
+
+        ``columns`` is a name-keyed mapping or a positional sequence of
+        per-attribute value arrays; each is encoded into codes with
+        :meth:`repro.marginals.domain.Attribute.encode` (numeric
+        attributes are binned, labelled attributes looked up).
+        """
+        return cls(
+            domain.encode_records(columns), domain.arities, name=name,
+            domain=domain,
+        )
 
     @classmethod
     def random(
@@ -42,13 +70,18 @@ class CategoricalDataset:
         rng: np.random.Generator | None = None,
         name: str = "random",
     ) -> "CategoricalDataset":
-        """IID uniform categorical data, mainly for tests."""
+        """IID uniform categorical data, mainly for tests.
+
+        ``arities`` may be a :class:`~repro.marginals.domain.Domain`,
+        which is then attached to the dataset.
+        """
         rng = rng or np.random.default_rng()
-        arities = tuple(int(b) for b in arities)
+        domain = arities if hasattr(arities, "attr_set") else None
+        arities = tuple(int(b) for b in (domain.arities if domain else arities))
         columns = [
             rng.integers(0, b, size=num_records) for b in arities
         ]
-        return cls(np.stack(columns, axis=1), arities, name=name)
+        return cls(np.stack(columns, axis=1), arities, name=name, domain=domain)
 
     # ------------------------------------------------------------------
     @property

@@ -1,46 +1,31 @@
-"""Ripple non-negativity for categorical tables (Section 4.7).
+"""Deprecated shim — categorical Ripple moved into the core.
 
-"The only change is in the Ripple Non-negativity step, neighbouring
-cells are obtained by changing only one value (as opposed to flipping
-one value)."
+The implementation lives in :mod:`repro.core.nonnegativity` next to
+the binary Ripple (one home for all non-negativity post-processing).
+Importing the old name from here keeps working but raises a
+:class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
-import numpy as np
+import warnings
 
-from repro.categorical.indexing import categorical_neighbours
-from repro.categorical.table import CategoricalMarginalTable
-from repro.core.nonnegativity import DEFAULT_THETA, MAX_RIPPLE_PASSES
-from repro.exceptions import ReconstructionError
+_MOVED = ("categorical_ripple",)
 
 
-def categorical_ripple(
-    table: CategoricalMarginalTable, theta: float = DEFAULT_THETA
-) -> int:
-    """Ripple with change-one-value neighbourhoods; returns pass count."""
-    if theta <= 0:
-        raise ReconstructionError(
-            f"theta must be positive for Ripple to terminate, got {theta}"
+def __getattr__(name: str):
+    if name in _MOVED:
+        warnings.warn(
+            f"repro.categorical.nonnegativity.{name} moved to "
+            f"repro.core.nonnegativity; update the import",
+            DeprecationWarning,
+            stacklevel=2,
         )
-    if table.arity == 0:
-        return 0
-    if table.counts.sum() <= 0:
-        table.counts[:] = 0.0
-        return 0
-    neighbours = categorical_neighbours(table.arities)
-    degree = neighbours.shape[1]
-    counts = table.counts
-    passes = 0
-    while passes < MAX_RIPPLE_PASSES:
-        negative = np.flatnonzero(counts < -theta)
-        if negative.size == 0:
-            return passes
-        passes += 1
-        removed = counts[negative].copy()
-        counts[negative] = 0.0
-        share = np.repeat(removed / degree, degree)
-        np.add.at(counts, neighbours[negative].ravel(), share)
-    raise ReconstructionError(
-        f"categorical Ripple did not settle within {MAX_RIPPLE_PASSES} passes"
-    )
+        from repro.core import nonnegativity
+
+        return getattr(nonnegativity, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(list(globals()) + list(_MOVED))

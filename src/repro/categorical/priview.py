@@ -3,41 +3,90 @@
 The pipeline is identical to the binary one — noisy views, overall
 consistency, Ripple, max-entropy reconstruction — with the
 categorical variants of view selection, Ripple neighbourhoods and
-cell indexing plugged in.
+cell indexing plugged in.  The post-processing primitives themselves
+(Ripple, the mixed-radix IPF solver) live in the shared core
+(:mod:`repro.core.nonnegativity`,
+:mod:`repro.core.reconstruction.categorical`) rather than as private
+forks here.
+
+Like the binary :class:`~repro.core.priview.PriView`, the fit hot
+path can run on the bit-sliced kernels
+(:class:`~repro.kernels.packed_cat.PackedCategoricalDataset`) with
+``packed=True`` — bitwise-identical marginals — and fan the views out
+over a worker pool with ``workers=N`` (per-view ``SeedSequence``
+child noise streams; bit-identical for any worker count).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 
 import numpy as np
 
+from repro import obs
 from repro.categorical.dataset import CategoricalDataset
-from repro.categorical.nonnegativity import categorical_ripple
-from repro.categorical.reconstruction import (
-    categorical_maxent,
-    extract_categorical_constraints,
-)
 from repro.categorical.table import CategoricalMarginalTable
 from repro.categorical.views import select_categorical_views
 from repro.core.consistency import make_consistent
-from repro.core.nonnegativity import DEFAULT_THETA
+from repro.core.nonnegativity import DEFAULT_THETA, categorical_ripple
+from repro.core.reconstruction import reconstruct_mixed
 from repro.exceptions import PrivacyBudgetError
+from repro.kernels import config as kernels_config
+from repro.kernels.fit import generate_noisy_views as _parallel_noisy_views
+from repro.marginals.domain import Domain
 from repro.mechanisms.laplace import noisy_counts
 
 
 @dataclass
 class CategoricalSynopsis:
-    """Published, consistent categorical view marginals."""
+    """Published, consistent categorical view marginals.
+
+    ``domain`` is optional richer schema (names, kinds, bin edges)
+    for the same attributes; when present its arities always match
+    ``arities``, and record-level consumers (``repro.synth``, the
+    serving sample route) use it to decode cell indices back into
+    attribute values.
+    """
 
     views: list[CategoricalMarginalTable]
     arities: tuple[int, ...]
     epsilon: float
     metadata: dict = field(default_factory=dict)
+    domain: Domain | None = None
+    #: optional repro.serve.QueryEngine; set via attach_engine
+    _engine: object | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        self.arities = tuple(int(b) for b in self.arities)
+        if self.domain is not None and self.domain.arities != self.arities:
+            raise PrivacyBudgetError(
+                f"domain arities {self.domain.arities} do not match "
+                f"synopsis arities {self.arities}"
+            )
 
     @property
     def num_views(self) -> int:
         return len(self.views)
+
+    @property
+    def num_attributes(self) -> int:
+        """Dimensionality ``d`` — mirrors :class:`PriViewSynopsis`."""
+        return len(self.arities)
+
+    # ------------------------------------------------------------------
+    # Serving-engine integration (same contract as PriViewSynopsis)
+    # ------------------------------------------------------------------
+    def attach_engine(self, engine) -> None:
+        """Route ``marginal``/``marginals`` through a serving engine."""
+        self._engine = engine
+
+    @property
+    def engine(self):
+        """The attached serving engine, if any."""
+        return self._engine
 
     def total_count(self) -> float:
         if not self.views:
@@ -48,17 +97,52 @@ class CategoricalSynopsis:
         target = set(int(a) for a in attrs)
         return any(target.issubset(v.attrs) for v in self.views)
 
-    def marginal(self, attrs) -> CategoricalMarginalTable:
-        """Reconstruct the marginal over ``attrs`` (projection when
-        covered, max-entropy IPF otherwise)."""
-        target = tuple(sorted(int(a) for a in attrs))
-        for view in self.views:
-            if set(target).issubset(view.attrs):
-                return view.project(target)
-        constraints = extract_categorical_constraints(self.views, target)
-        target_arities = tuple(self.arities[a] for a in target)
-        return categorical_maxent(
-            constraints, target, target_arities, self.total_count()
+    def reconstruct(self, attrs, method: str = "maxent") -> CategoricalMarginalTable:
+        """Engine-independent reconstruction (projection when covered,
+        the named mixed-radix solver otherwise).  The serving engine
+        calls this directly, so an attached engine never recurses."""
+        return reconstruct_mixed(
+            self.views,
+            attrs,
+            self.arities,
+            method=method,
+            total=self.total_count(),
+        )
+
+    def marginal(self, attrs, method: str = "maxent") -> CategoricalMarginalTable:
+        """Reconstruct the marginal over ``attrs``; with an attached
+        serving engine the query goes through its planner and cache."""
+        if self._engine is not None:
+            return self._engine.answer(attrs, method=method).table
+        return self.reconstruct(attrs, method=method)
+
+    def marginals(self, attr_sets, method: str = "maxent"):
+        """Reconstruct several marginals, solving each distinct set once."""
+        if self._engine is not None:
+            return [
+                answer.table
+                for answer in self._engine.answer_batch(attr_sets, method=method)
+            ]
+        total = self.total_count()
+        distinct: dict[tuple[int, ...], CategoricalMarginalTable] = {}
+        out = []
+        for attrs in attr_sets:
+            target = tuple(sorted(int(a) for a in attrs))
+            if target in distinct:
+                out.append(distinct[target].copy())
+                continue
+            table = reconstruct_mixed(
+                self.views, target, self.arities, method=method, total=total
+            )
+            distinct[target] = table
+            out.append(table)
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"CategoricalSynopsis(d={self.num_attributes}, "
+            f"arities={self.arities}, epsilon={self.epsilon}, "
+            f"views={self.num_views})"
         )
 
 
@@ -75,7 +159,21 @@ class CategoricalPriView:
         Explicit attribute tuples, overriding greedy selection.
     theta:
         Ripple threshold.
+    seed:
+        Seeds view selection and the noise generator.
+    packed:
+        Extract exact marginals on the bit-plane popcount kernels
+        (:func:`repro.kernels.packed_cat.as_packed_categorical`) —
+        bitwise-identical counts.  ``None`` inherits the process-wide
+        :func:`repro.kernels.set_fit_defaults` setting.
+    workers / backend:
+        As in the binary :class:`~repro.core.priview.PriView`: ``None``
+        keeps the legacy sequential noise stream; an integer fans the
+        views out with per-view ``SeedSequence`` child streams
+        (bit-identical for any worker count, including 1).
     """
+
+    name = "categorical-priview"
 
     def __init__(
         self,
@@ -84,35 +182,87 @@ class CategoricalPriView:
         views: list[tuple[int, ...]] | None = None,
         theta: float = DEFAULT_THETA,
         seed: int | None = None,
+        packed: bool | None = None,
+        workers: int | None = None,
+        backend: str = "auto",
     ):
         if epsilon <= 0:
             raise PrivacyBudgetError(f"epsilon must be positive, got {epsilon}")
+        defaults = kernels_config.fit_defaults()
         self.epsilon = float(epsilon)
         self.max_cells = max_cells
         self.views = views
         self.theta = theta
+        self.packed = defaults["packed"] if packed is None else bool(packed)
+        self.workers = defaults["workers"] if workers is None else workers
+        self.backend = backend
         self._rng = np.random.default_rng(seed)
+        self._seed_seq = np.random.SeedSequence(seed)
 
     def fit(self, dataset: CategoricalDataset) -> CategoricalSynopsis:
-        """Run the full categorical pipeline."""
-        view_attrs = self.views or select_categorical_views(
-            dataset.arities, max_cells=self.max_cells, rng=self._rng
-        )
-        w = len(view_attrs)
-        tables = []
-        for attrs in view_attrs:
-            table = dataset.marginal(attrs)
-            table.counts = noisy_counts(
-                table.counts, self.epsilon, sensitivity=w, rng=self._rng
+        """Run the full categorical pipeline.
+
+        Accepts a :class:`CategoricalDataset` or an already-packed
+        :class:`~repro.kernels.packed_cat.PackedCategoricalDataset`
+        (anything with ``arities`` and ``marginal``).  Under an
+        observability session every noise draw lands in a strict
+        ``CategoricalPriView.fit`` budget scope that balances exactly
+        to ``epsilon``.
+        """
+        fit_start = perf_counter()
+        with obs.span("categorical.fit"), obs.budget_scope(
+            "CategoricalPriView.fit", self.epsilon
+        ):
+            view_attrs = self.views or select_categorical_views(
+                dataset.arities, max_cells=self.max_cells, rng=self._rng
             )
-            tables.append(table)
-        make_consistent(tables)
-        for table in tables:
-            categorical_ripple(table, theta=self.theta)
-        make_consistent(tables)
+            w = len(view_attrs)
+            source = dataset
+            if self.packed:
+                from repro.kernels.packed_cat import as_packed_categorical
+
+                source = as_packed_categorical(dataset)
+            obs.set_gauge("fit.packed", int(self.packed))
+            with obs.span("noisy_views"):
+                if self.workers is None:
+                    obs.set_gauge("fit.workers", 1)
+                    tables = []
+                    for attrs in view_attrs:
+                        table = source.marginal(attrs)
+                        table.counts = noisy_counts(
+                            table.counts,
+                            self.epsilon,
+                            sensitivity=w,
+                            rng=self._rng,
+                        )
+                        tables.append(table)
+                else:
+                    tables = _parallel_noisy_views(
+                        source,
+                        view_attrs,
+                        self.epsilon,
+                        sensitivity=w,
+                        root_seed=self._seed_seq,
+                        workers=self.workers,
+                        backend=self.backend,
+                    )
+            with obs.span("post_process"):
+                make_consistent(tables)
+                for table in tables:
+                    categorical_ripple(table, theta=self.theta)
+                make_consistent(tables)
+            obs.observe(
+                "fit.seconds",
+                perf_counter() - fit_start,
+                {"mechanism": "categorical-priview"},
+            )
         return CategoricalSynopsis(
             views=tables,
-            arities=dataset.arities,
+            arities=tuple(int(b) for b in dataset.arities),
             epsilon=self.epsilon,
-            metadata={"view_attrs": list(view_attrs), "theta": self.theta},
+            metadata={
+                "view_attrs": [tuple(a) for a in view_attrs],
+                "theta": self.theta,
+            },
+            domain=getattr(dataset, "domain", None),
         )

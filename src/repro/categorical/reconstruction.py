@@ -1,82 +1,31 @@
-"""Maximum-entropy reconstruction for categorical marginals.
+"""Deprecated shim — categorical reconstruction moved into the core.
 
-The same IPF algorithm as :mod:`repro.core.reconstruction.maxent`
-("the maximum entropy-based reconstruction method can be applied
-directly with non-binary categorical attributes" — Section 4.7),
-running over mixed-radix projections.
+The implementations live in :mod:`repro.core.reconstruction.categorical`
+(one shared registry for binary and mixed-radix solvers, see that
+module's docstring).  Importing the old names from here keeps working
+but raises a :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
-import numpy as np
+import warnings
 
-from repro.categorical.indexing import mixed_radix_projection_map, table_size
-from repro.categorical.table import CategoricalMarginalTable
-from repro.exceptions import ReconstructionError
-
-_TINY = 1e-12
+_MOVED = ("extract_categorical_constraints", "categorical_maxent")
 
 
-def extract_categorical_constraints(
-    views: list[CategoricalMarginalTable], target_attrs
-) -> list[CategoricalMarginalTable]:
-    """Maximal-intersection constraint tables for the target attrs."""
-    target = tuple(sorted(int(a) for a in target_attrs))
-    target_set = set(target)
-    by_attrs: dict[tuple[int, ...], CategoricalMarginalTable] = {}
-    for view in views:
-        inter = tuple(sorted(target_set & set(view.attrs)))
-        if not inter or inter in by_attrs:
-            continue
-        by_attrs[inter] = view.project(inter)
-    if not by_attrs:
-        raise ReconstructionError(
-            f"no view intersects the target attributes {target}"
+def __getattr__(name: str):
+    if name in _MOVED:
+        warnings.warn(
+            f"repro.categorical.reconstruction.{name} moved to "
+            f"repro.core.reconstruction.categorical; update the import",
+            DeprecationWarning,
+            stacklevel=2,
         )
-    return [
-        by_attrs[a]
-        for a in by_attrs
-        if not any(set(a) < set(other) for other in by_attrs)
-    ]
+        from repro.core.reconstruction import categorical
+
+        return getattr(categorical, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
-def categorical_maxent(
-    constraints: list[CategoricalMarginalTable],
-    target_attrs,
-    target_arities,
-    total: float,
-    max_cycles: int = 500,
-    tol: float = 1e-9,
-) -> CategoricalMarginalTable:
-    """IPF over the mixed-radix target table."""
-    target = tuple(sorted(int(a) for a in target_attrs))
-    target_arities = tuple(int(b) for b in target_arities)
-    total = max(float(total), _TINY)
-    size = table_size(target_arities)
-    if not constraints:
-        return CategoricalMarginalTable.uniform(target, target_arities, total)
-
-    index = {a: j for j, a in enumerate(target)}
-    prepared = []
-    for c in constraints:
-        positions = tuple(index[a] for a in c.attrs)
-        pmap = mixed_radix_projection_map(target_arities, positions)
-        tgt = np.maximum(c.counts, 0.0)
-        s = tgt.sum()
-        tgt = (
-            np.full(tgt.size, total / tgt.size) if s <= 0 else tgt * (total / s)
-        )
-        prepared.append((pmap, tgt))
-
-    cells = np.full(size, total / size)
-    for _ in range(max_cycles):
-        mismatch = 0.0
-        for pmap, tgt in prepared:
-            current = np.bincount(pmap, weights=cells, minlength=tgt.size)
-            mismatch += float(np.abs(current - tgt).sum())
-            factor = tgt / np.maximum(current, _TINY)
-            np.clip(factor, 0.0, 1e12, out=factor)
-            cells *= factor[pmap]
-        if mismatch / total < tol:
-            break
-    return CategoricalMarginalTable(target, target_arities, cells)
+def __dir__():
+    return sorted(list(globals()) + list(_MOVED))

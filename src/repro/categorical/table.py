@@ -19,6 +19,7 @@ from repro.categorical.indexing import (
     table_size,
 )
 from repro.exceptions import DimensionError
+from repro.marginals.attrs import AttrSet
 
 
 @dataclass
@@ -39,15 +40,16 @@ class CategoricalMarginalTable:
     attrs: tuple[int, ...]
     arities: tuple[int, ...]
     counts: np.ndarray = field(repr=False)
+    meta: dict = field(default_factory=dict, repr=False, compare=False)
 
     def __post_init__(self) -> None:
-        order = np.argsort(self.attrs)
-        self.attrs = tuple(int(self.attrs[i]) for i in order)
-        self.arities = tuple(int(self.arities[i]) for i in order)
-        if len(set(self.attrs)) != len(self.attrs):
-            raise DimensionError(f"duplicate attributes in {self.attrs}")
-        if any(b < 2 for b in self.arities):
-            raise DimensionError(f"arities must be >= 2, got {self.arities}")
+        # AttrSet is the module-boundary canonicalizer: it sorts the
+        # attrs, re-aligns the arities alongside them, and rejects
+        # duplicates / arities < 2 — while still equalling (and
+        # hashing like) the bare sorted tuple.
+        attrs = AttrSet(tuple(self.attrs), arities=tuple(self.arities))
+        self.attrs = attrs
+        self.arities = attrs.arities
         counts = np.asarray(self.counts, dtype=np.float64)
         if counts.shape != (table_size(self.arities),):
             raise DimensionError(
@@ -81,7 +83,13 @@ class CategoricalMarginalTable:
         return float(self.counts.sum())
 
     def copy(self) -> "CategoricalMarginalTable":
-        return CategoricalMarginalTable(self.attrs, self.arities, self.counts.copy())
+        return CategoricalMarginalTable(
+            self.attrs, self.arities, self.counts.copy(), dict(self.meta)
+        )
+
+    def with_counts(self, counts) -> "CategoricalMarginalTable":
+        """A same-shape table over the same attrs with new counts."""
+        return CategoricalMarginalTable(self.attrs, self.arities, counts)
 
     def _positions(self, sub_attrs: tuple[int, ...]) -> tuple[int, ...]:
         index = {a: j for j, a in enumerate(self.attrs)}

@@ -73,6 +73,51 @@ def ripple(table: MarginalTable, theta: float = DEFAULT_THETA) -> int:
     return passes
 
 
+def categorical_ripple(table, theta: float = DEFAULT_THETA) -> int:
+    """Ripple with change-one-value neighbourhoods (Section 4.7).
+
+    "The only change is in the Ripple Non-negativity step, neighbouring
+    cells are obtained by changing only one value (as opposed to
+    flipping one value)."  ``table`` is a
+    :class:`~repro.categorical.table.CategoricalMarginalTable`; returns
+    the pass count.  Folded into the shared core from the old
+    ``repro.categorical.nonnegativity`` (which remains as a deprecated
+    shim); the neighbourhood import is lazy to keep the package
+    dependency one-way.
+    """
+    from repro.categorical.indexing import categorical_neighbours
+
+    if theta <= 0:
+        raise ReconstructionError(
+            f"theta must be positive for Ripple to terminate, got {theta}"
+        )
+    if table.arity == 0:
+        return 0
+    if table.counts.sum() <= 0:
+        table.counts[:] = 0.0
+        return 0
+    neighbours = categorical_neighbours(table.arities)
+    degree = neighbours.shape[1]
+    counts = table.counts
+    passes = 0
+    cells_clipped = 0
+    while passes < MAX_RIPPLE_PASSES:
+        negative = np.flatnonzero(counts < -theta)
+        if negative.size == 0:
+            obs.incr("ripple.passes", passes)
+            obs.incr("ripple.cells_clipped", cells_clipped)
+            return passes
+        passes += 1
+        cells_clipped += int(negative.size)
+        removed = counts[negative].copy()
+        counts[negative] = 0.0
+        share = np.repeat(removed / degree, degree)
+        np.add.at(counts, neighbours[negative].ravel(), share)
+    raise ReconstructionError(
+        f"categorical Ripple did not settle within {MAX_RIPPLE_PASSES} passes"
+    )
+
+
 def simple_clamp(table: MarginalTable) -> None:
     """Set negative cells to zero (Figure 4's ``Simple``).
 

@@ -234,6 +234,7 @@ class PriView:
             views=views,
             epsilon=self.epsilon,
             num_attributes=dataset.num_attributes,
+            domain=getattr(dataset, "domain", None),
             metadata={
                 "nonnegativity": self.nonnegativity,
                 "nonneg_rounds": self.nonneg_rounds,

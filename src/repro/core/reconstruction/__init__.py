@@ -27,6 +27,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro import obs
+from repro.core.reconstruction.categorical import (
+    MIXED_RECONSTRUCTION_METHODS,
+    categorical_maxent,
+    extract_categorical_constraints,
+    reconstruct_mixed,
+)
 from repro.core.reconstruction.constraints import (
     MarginalConstraint,
     build_constraint_system,
@@ -193,13 +199,17 @@ def reconstruct_batch(
 
 
 __all__ = [
+    "MIXED_RECONSTRUCTION_METHODS",
     "MarginalConstraint",
     "RECONSTRUCTION_METHODS",
     "ResidualIndex",
     "build_constraint_system",
+    "categorical_maxent",
     "covering_view",
+    "extract_categorical_constraints",
     "extract_constraints",
     "fwht",
+    "reconstruct_mixed",
     "least_squares",
     "linear_program",
     "maxent",

@@ -1,0 +1,158 @@
+"""Mixed-radix (categorical) reconstruction, in the shared registry.
+
+The same IPF algorithm as :mod:`repro.core.reconstruction.maxent`
+("the maximum entropy-based reconstruction method can be applied
+directly with non-binary categorical attributes" — Section 4.7),
+running over mixed-radix projections.  This used to live in
+``repro.categorical.reconstruction`` as a private fork of the core
+solvers; it is now part of :mod:`repro.core.reconstruction` so binary
+and categorical reconstruction share one registry (and one copy of
+every numerical helper — the simplex projection in
+:mod:`repro.core.reconstruction.residual` included).  The old module
+remains as a :class:`DeprecationWarning` shim.
+
+Imports of :mod:`repro.categorical` helpers happen lazily inside the
+functions: ``repro.categorical.priview`` imports this module at class
+definition time, so a module-level import here would be circular.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import obs
+from repro.exceptions import ReconstructionError
+
+_TINY = 1e-12
+
+#: Mixed-radix solvers by name.  ``maxent`` is the only entry the
+#: paper defines for the categorical extension; the registry keeps the
+#: same shape as the binary ``_SOLVERS`` table so new solvers slot in.
+MIXED_SOLVERS: dict = {}
+
+MIXED_RECONSTRUCTION_METHODS: tuple = ()
+
+
+def _register(name: str):
+    def deco(fn):
+        global MIXED_RECONSTRUCTION_METHODS
+        MIXED_SOLVERS[name] = fn
+        MIXED_RECONSTRUCTION_METHODS = tuple(MIXED_SOLVERS)
+        return fn
+
+    return deco
+
+
+def extract_categorical_constraints(views, target_attrs) -> list:
+    """Maximal-intersection constraint tables for the target attrs."""
+    target = tuple(sorted(int(a) for a in target_attrs))
+    target_set = set(target)
+    by_attrs: dict = {}
+    for view in views:
+        inter = tuple(sorted(target_set & set(view.attrs)))
+        if not inter or inter in by_attrs:
+            continue
+        by_attrs[inter] = view.project(inter)
+    if not by_attrs:
+        raise ReconstructionError(
+            f"no view intersects the target attributes {target}"
+        )
+    return [
+        by_attrs[a]
+        for a in by_attrs
+        if not any(set(a) < set(other) for other in by_attrs)
+    ]
+
+
+@_register("maxent")
+def categorical_maxent(
+    constraints,
+    target_attrs,
+    target_arities,
+    total: float,
+    max_cycles: int = 500,
+    tol: float = 1e-9,
+):
+    """IPF over the mixed-radix target table."""
+    from repro.categorical.indexing import (
+        mixed_radix_projection_map,
+        table_size,
+    )
+    from repro.categorical.table import CategoricalMarginalTable
+
+    target = tuple(sorted(int(a) for a in target_attrs))
+    target_arities = tuple(int(b) for b in target_arities)
+    total = max(float(total), _TINY)
+    size = table_size(target_arities)
+    if not constraints:
+        return CategoricalMarginalTable.uniform(target, target_arities, total)
+
+    index = {a: j for j, a in enumerate(target)}
+    prepared = []
+    for c in constraints:
+        positions = tuple(index[a] for a in c.attrs)
+        pmap = mixed_radix_projection_map(target_arities, positions)
+        tgt = np.maximum(c.counts, 0.0)
+        s = tgt.sum()
+        tgt = (
+            np.full(tgt.size, total / tgt.size) if s <= 0 else tgt * (total / s)
+        )
+        prepared.append((pmap, tgt))
+
+    cells = np.full(size, total / size)
+    for _ in range(max_cycles):
+        mismatch = 0.0
+        for pmap, tgt in prepared:
+            current = np.bincount(pmap, weights=cells, minlength=tgt.size)
+            mismatch += float(np.abs(current - tgt).sum())
+            factor = tgt / np.maximum(current, _TINY)
+            np.clip(factor, 0.0, 1e12, out=factor)
+            cells *= factor[pmap]
+        if mismatch / total < tol:
+            break
+    return CategoricalMarginalTable(target, target_arities, cells)
+
+
+def reconstruct_mixed(
+    views,
+    target_attrs,
+    arities,
+    method: str = "maxent",
+    total: float | None = None,
+    use_covering_view: bool = True,
+):
+    """Reconstruct a mixed-radix marginal from categorical view tables.
+
+    The categorical counterpart of
+    :func:`repro.core.reconstruction.reconstruct`: a straight
+    projection when some view covers ``target_attrs``, otherwise the
+    named solver from :data:`MIXED_SOLVERS` over the maximal
+    intersecting constraints.
+
+    ``arities`` is the full-domain arity vector (indexable by global
+    attribute index); ``total`` defaults to the mean view total.
+    """
+    if method not in MIXED_SOLVERS:
+        raise ReconstructionError(
+            f"unknown mixed reconstruction method {method!r}; "
+            f"choose from {MIXED_RECONSTRUCTION_METHODS}"
+        )
+    target = tuple(sorted(int(a) for a in target_attrs))
+    with obs.span("reconstruct.mixed"):
+        if use_covering_view:
+            for view in views:
+                if set(target).issubset(view.attrs):
+                    obs.incr("reconstruct.covered")
+                    return view.project(target)
+        obs.incr(f"reconstruct.mixed.{method}")
+        constraints = extract_categorical_constraints(views, target)
+        if total is None:
+            total = (
+                float(sum(v.total() for v in views) / len(views))
+                if views
+                else 0.0
+            )
+        target_arities = tuple(int(arities[a]) for a in target)
+        return MIXED_SOLVERS[method](
+            constraints, target, target_arities, float(total)
+        )

@@ -43,11 +43,14 @@ from repro.exceptions import (
     SynopsisFormatError,
     SynopsisIntegrityError,
 )
+from repro.marginals.domain import Domain
 from repro.marginals.table import MarginalTable
 
 #: bumped on changes to the on-disk layout; the loader reads any
-#: version up to this one (v1 files simply lack ``payload_sha256``)
-FORMAT_VERSION = 2
+#: version up to this one (v1 files simply lack ``payload_sha256``,
+#: v2 files lack ``kind``/``domain``/``view_arities`` and keep their
+#: views-only digest)
+FORMAT_VERSION = 3
 
 #: oldest version the loader still understands
 MIN_FORMAT_VERSION = 1
@@ -74,38 +77,65 @@ def jsonable(obj):
     return str(obj)
 
 
-def payload_digest(views) -> str:
-    """sha256 over every view's attribute set and counts, in order.
+def payload_digest(views, domain=None, kind: str = "priview") -> str:
+    """sha256 over every view's attribute set (and arities) and counts.
 
     This is the digest ``save_synopsis`` records and ``load_synopsis``
     verifies; it is independent of zip container details, so the same
-    views always hash the same regardless of compression.
+    views always hash the same regardless of compression.  The domain
+    schema (when present) and the synopsis kind are covered too, so a
+    flipped bit in the serialized schema fails verification rather
+    than silently degrading to a schema-less load.  With the default
+    arguments the digest of binary views is byte-identical to the
+    v1/v2 formula, which is how pre-v3 files stay verifiable.
     """
     digest = hashlib.sha256()
+    if kind != "priview":
+        digest.update(f"kind:{kind}\n".encode())
+    if domain is not None:
+        schema = json.dumps(domain.to_json(), sort_keys=True)
+        digest.update(f"domain:{schema}\n".encode())
     for view in views:
         digest.update(repr(tuple(int(a) for a in view.attrs)).encode())
+        arities = getattr(view, "arities", None)
+        if arities is not None:
+            digest.update(repr(tuple(int(b) for b in arities)).encode())
         digest.update(
             np.ascontiguousarray(view.counts, dtype=np.float64).tobytes()
         )
     return digest.hexdigest()
 
 
-def save_synopsis(
-    synopsis: PriViewSynopsis, path: str | os.PathLike
-) -> pathlib.Path:
-    """Write a synopsis to ``path`` (compressed .npz)."""
+def save_synopsis(synopsis, path: str | os.PathLike) -> pathlib.Path:
+    """Write a synopsis to ``path`` (compressed .npz).
+
+    Accepts a binary :class:`PriViewSynopsis` or a
+    :class:`~repro.categorical.priview.CategoricalSynopsis`; the
+    header's ``kind`` field records which, and the optional ``domain``
+    schema (covered by the payload digest) rides along for both.
+    """
     path = pathlib.Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
+    domain = getattr(synopsis, "domain", None)
+    kind = "priview" if hasattr(synopsis, "design") else "categorical"
     header = {
         "format_version": FORMAT_VERSION,
+        "kind": kind,
         "epsilon": synopsis.epsilon,
         "num_attributes": synopsis.num_attributes,
-        "design": synopsis.design.to_text(),
         "view_attrs": [list(v.attrs) for v in synopsis.views],
         "view_meta": [jsonable(v.meta) for v in synopsis.views],
         "metadata": jsonable(synopsis.metadata),
-        "payload_sha256": payload_digest(synopsis.views),
+        "domain": None if domain is None else domain.to_json(),
+        "payload_sha256": payload_digest(synopsis.views, domain, kind),
     }
+    if kind == "priview":
+        header["design"] = synopsis.design.to_text()
+    else:
+        header["arities"] = [int(b) for b in synopsis.arities]
+        header["view_arities"] = [
+            [int(b) for b in v.arities] for v in synopsis.views
+        ]
     arrays = {
         f"view_{i}": view.counts for i, view in enumerate(synopsis.views)
     }
@@ -136,16 +166,32 @@ def _check_format_version(header: dict, path: pathlib.Path) -> int:
     return version
 
 
-def load_synopsis(
-    path: str | os.PathLike, verify: bool = True
-) -> PriViewSynopsis:
+def _parse_domain(header: dict, path: pathlib.Path) -> Domain | None:
+    """Domain schema from the header, or None; malformed schemas are
+    an integrity failure, never a silent schema-less fallback."""
+    blob = header.get("domain")
+    if blob is None:
+        return None
+    try:
+        return Domain.from_json(blob)
+    except (ReproError, TypeError, KeyError, ValueError) as exc:
+        raise SynopsisIntegrityError(
+            f"corrupt synopsis {path}: undecodable domain schema: "
+            f"{type(exc).__name__}: {exc}"
+        ) from exc
+
+
+def load_synopsis(path: str | os.PathLike, verify: bool = True):
     """Load a synopsis written by :func:`save_synopsis`.
 
-    Raises :class:`~repro.exceptions.SynopsisFormatError` for files
-    from a newer library, and
+    Returns a :class:`PriViewSynopsis` or — for files whose header
+    says ``kind: categorical`` — a
+    :class:`~repro.categorical.priview.CategoricalSynopsis`.  Raises
+    :class:`~repro.exceptions.SynopsisFormatError` for files from a
+    newer library, and
     :class:`~repro.exceptions.SynopsisIntegrityError` when the file
     does not decode or (with ``verify``, the default) the recorded
-    payload sha256 does not match the arrays read back.
+    payload sha256 does not match the header + arrays read back.
     """
     path = pathlib.Path(path)
     if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
@@ -155,23 +201,60 @@ def load_synopsis(
     try:
         with np.load(path, allow_pickle=False) as archive:
             header = json.loads(str(archive["header"]))
-            _check_format_version(header, path)
+            version = _check_format_version(header, path)
+            kind = header.get("kind", "priview")
+            domain = _parse_domain(header, path)
             # view_meta is absent in files written before it existed:
             # default to empty dicts so those synopses still load.
             metas = header.get("view_meta") or [{}] * len(header["view_attrs"])
+            counts = [
+                archive[f"view_{i}"]
+                for i in range(len(header["view_attrs"]))
+            ]
+        if kind == "categorical":
+            # Imported lazily: repro.categorical itself imports the
+            # core at module level, so the reverse edge must not exist
+            # at import time.
+            from repro.categorical.priview import CategoricalSynopsis
+            from repro.categorical.table import CategoricalMarginalTable
+
             views = [
-                MarginalTable(tuple(attrs), archive[f"view_{i}"], dict(meta))
-                for i, (attrs, meta) in enumerate(
-                    zip(header["view_attrs"], metas)
+                CategoricalMarginalTable(
+                    tuple(attrs), tuple(arities), cells, dict(meta)
+                )
+                for attrs, arities, cells, meta in zip(
+                    header["view_attrs"],
+                    header["view_arities"],
+                    counts,
+                    metas,
                 )
             ]
-        synopsis = PriViewSynopsis(
-            design=CoveringDesign.from_text(header["design"]),
-            views=views,
-            epsilon=float(header["epsilon"]),
-            num_attributes=int(header["num_attributes"]),
-            metadata=header.get("metadata", {}),
-        )
+            synopsis = CategoricalSynopsis(
+                views=views,
+                arities=tuple(header["arities"]),
+                epsilon=float(header["epsilon"]),
+                metadata=header.get("metadata", {}),
+                domain=domain,
+            )
+        elif kind == "priview":
+            views = [
+                MarginalTable(tuple(attrs), cells, dict(meta))
+                for attrs, cells, meta in zip(
+                    header["view_attrs"], counts, metas
+                )
+            ]
+            synopsis = PriViewSynopsis(
+                design=CoveringDesign.from_text(header["design"]),
+                views=views,
+                epsilon=float(header["epsilon"]),
+                num_attributes=int(header["num_attributes"]),
+                metadata=header.get("metadata", {}),
+                domain=domain,
+            )
+        else:
+            raise SynopsisIntegrityError(
+                f"corrupt synopsis {path}: unknown synopsis kind {kind!r}"
+            )
     except ReproError:
         raise
     except (
@@ -188,7 +271,10 @@ def load_synopsis(
         ) from exc
     expected = header.get("payload_sha256")
     if verify and expected is not None:
-        actual = payload_digest(synopsis.views)
+        if version >= 3:
+            actual = payload_digest(synopsis.views, domain, kind)
+        else:
+            actual = payload_digest(synopsis.views)
         if actual != expected:
             raise SynopsisIntegrityError(
                 f"synopsis {path} failed its integrity check: payload "

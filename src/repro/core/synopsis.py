@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from repro.core.reconstruction import reconstruct, reconstruct_batch
 from repro.covering.design import CoveringDesign
 from repro.marginals.attrs import AttrSet
+from repro.marginals.domain import Domain
 from repro.marginals.table import MarginalTable
 
 
@@ -32,6 +33,10 @@ class PriViewSynopsis:
         The privacy budget the synopsis satisfies.
     num_attributes:
         Dimensionality ``d`` of the underlying dataset.
+    domain:
+        Optional attribute schema (names, kinds, bin edges) for the
+        same ``d`` binary attributes; carried through serialization
+        and the store so record-level consumers can decode samples.
     """
 
     design: CoveringDesign
@@ -39,6 +44,7 @@ class PriViewSynopsis:
     epsilon: float
     num_attributes: int
     metadata: dict = field(default_factory=dict)
+    domain: Domain | None = None
     #: optional repro.serve.QueryEngine; set via attach_engine
     _engine: object | None = field(
         default=None, init=False, repr=False, compare=False

@@ -57,6 +57,11 @@ class LedgerError(ReproError):
     """A privacy-budget ledger audit failed or the ledger was misused."""
 
 
+class SynthesisError(ReproError):
+    """Record-level synthesis could not run (no views, bad domain,
+    invalid sampling request)."""
+
+
 class QueryError(ReproError):
     """A served marginal query was malformed or unanswerable."""
 

@@ -31,19 +31,29 @@ from repro.kernels.packed import (
     DEFAULT_CHUNK_WORDS,
     PackedDataset,
     as_packed,
+    bit_histogram,
     moebius_from_subset_counts,
     pack_columns,
     popcount_words,
     unpack_columns,
+)
+from repro.kernels.packed_cat import (
+    PackedCategoricalDataset,
+    as_packed_categorical,
+    plane_count,
 )
 from repro.kernels import indexcache
 
 __all__ = [
     "BACKENDS",
     "DEFAULT_CHUNK_WORDS",
+    "PackedCategoricalDataset",
     "PackedDataset",
     "ParallelExecutor",
     "as_packed",
+    "as_packed_categorical",
+    "bit_histogram",
+    "plane_count",
     "fit_defaults",
     "generate_noisy_views",
     "indexcache",

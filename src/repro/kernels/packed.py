@@ -174,6 +174,40 @@ def moebius_from_subset_counts(zeta: np.ndarray) -> np.ndarray:
     return zeta
 
 
+def bit_histogram(
+    rows: np.ndarray,
+    num_records: int,
+    chunk_words: int = DEFAULT_CHUNK_WORDS,
+) -> np.ndarray:
+    """Counts over the ``2**m`` binary codes of ``m`` packed bit rows.
+
+    ``rows`` is an ``(m, ceil(N/64))`` uint64 array (``m <= 8``) whose
+    padding bits past ``N`` are zero; code bit ``j`` of record ``r`` is
+    bit ``r`` of row ``j``.  This is the transpose-histogram kernel
+    shared by the binary marginal path and the packed categorical
+    bit-plane path (:mod:`repro.kernels.packed_cat`): interleave the
+    packed bytes into 8x8 bit matrices, transpose each with
+    :data:`_TRANSPOSE_STEPS`, and bincount the resulting per-record
+    code bytes.  Padding records land on code 0 and are subtracted.
+    """
+    m = rows.shape[0]
+    if not 0 < m <= 8:
+        raise DimensionError(f"bit_histogram needs 1..8 rows, got {m}")
+    counts = np.zeros(1 << m, dtype=np.int64)
+    nwords = rows.shape[1]
+    for start in range(0, nwords, chunk_words):
+        stop = min(start + chunk_words, nwords)
+        cols = np.ascontiguousarray(rows[:, start:stop]).view(np.uint8)
+        interleaved = np.zeros((cols.shape[1], 8), dtype=np.uint8)
+        interleaved[:, :m] = cols.T
+        w = interleaved.view(np.uint64).ravel()
+        for keep, move, shift in _TRANSPOSE_STEPS:
+            w = (w & keep) | ((w & move) << shift) | ((w >> shift) & move)
+        counts += np.bincount(w.view(np.uint8), minlength=counts.size)
+    counts[0] -= nwords * 64 - num_records
+    return counts.astype(np.float64)
+
+
 class PackedDataset:
     """A bit-sliced ``N x d`` binary dataset.
 
@@ -346,29 +380,15 @@ class PackedDataset:
     def _cell_histogram(self, attrs: AttrSet) -> np.ndarray:
         """Transpose-histogram kernel for ``arity <= 8``.
 
-        Interleaves the packed attribute bytes so each group of 8
-        bytes is an 8x8 bit matrix (attribute x record), transposes
-        every group with :data:`_TRANSPOSE_STEPS`, then reads record
-        cell indices straight out of the transposed bytes — one
-        ``bincount`` per chunk finishes the marginal.  Assumes a
-        little-endian uint64 byte view, like the rest of this module.
+        Delegates to the shared :func:`bit_histogram` over the
+        selected attribute rows; for binary attributes the per-record
+        binary code *is* the cell index, so no further folding is
+        needed (the packed categorical path folds bit-plane codes into
+        mixed-radix cells on top of the same kernel).
         """
-        arity = len(attrs)
-        counts = np.zeros(1 << arity, dtype=np.int64)
-        nwords = self.num_words
-        chunk = self.chunk_words
-        for start in range(0, nwords, chunk):
-            stop = min(start + chunk, nwords)
-            cols = self._words[list(attrs), start:stop].view(np.uint8)
-            interleaved = np.zeros((cols.shape[1], 8), dtype=np.uint8)
-            interleaved[:, :arity] = cols.T
-            w = interleaved.view(np.uint64).ravel()
-            for keep, move, shift in _TRANSPOSE_STEPS:
-                w = (w & keep) | ((w & move) << shift) | ((w >> shift) & move)
-            counts += np.bincount(w.view(np.uint8), minlength=counts.size)
-        # Zero-padding past N in the final word landed in cell 0.
-        counts[0] -= nwords * 64 - self._num_records
-        return counts.astype(np.float64)
+        return bit_histogram(
+            self._words[list(attrs)], self._num_records, self.chunk_words
+        )
 
     def cell_counts(self, attrs) -> np.ndarray:
         """Exact cell counts of the marginal over ``attrs``."""

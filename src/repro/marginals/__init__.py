@@ -16,6 +16,12 @@ attribute sets.
 
 from repro.marginals.attrs import AttrSet, as_attrs
 from repro.marginals.dataset import BinaryDataset
+from repro.marginals.domain import (
+    ATTRIBUTE_KINDS,
+    Attribute,
+    Domain,
+    as_domain,
+)
 from repro.marginals.table import MarginalTable
 from repro.marginals.contingency import FullContingencyTable
 from repro.marginals.projection import (
@@ -36,8 +42,12 @@ from repro.marginals.analysis_queries import (
 )
 
 __all__ = [
+    "ATTRIBUTE_KINDS",
     "AttrSet",
+    "Attribute",
+    "Domain",
     "as_attrs",
+    "as_domain",
     "BinaryDataset",
     "MarginalTable",
     "FullContingencyTable",

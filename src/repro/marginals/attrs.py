@@ -45,12 +45,28 @@ class AttrSet(tuple):
         out-of-range indices raise :class:`DimensionError`.  Without
         it only non-negativity of the smallest index is *not* enforced
         — sortedness and uniqueness always are.
+    arities:
+        Optional per-attribute arities (number of values), aligned
+        with the *input* ``attrs`` order and re-sorted alongside them.
+        Arities are metadata: they never affect equality or hashing,
+        so an ``AttrSet`` with arities still equals (and keys the same
+        caches as) the bare tuple.  Binary-only callers that never
+        pass ``arities`` see exactly the legacy behaviour.
     """
 
-    __slots__ = ()
+    # No __slots__: tuple subclasses cannot carry nonempty slots, and
+    # the optional arity metadata needs an instance attribute.  The
+    # class-level default keeps arity-less instances dict-free-ish and
+    # makes `_arities` always readable.
+    _arities: tuple[int, ...] | None = None
 
-    def __new__(cls, attrs=(), num_attributes: int | None = None) -> "AttrSet":
-        if isinstance(attrs, AttrSet):
+    def __new__(
+        cls,
+        attrs=(),
+        num_attributes: int | None = None,
+        arities=None,
+    ) -> "AttrSet":
+        if isinstance(attrs, AttrSet) and arities is None:
             out = attrs
         else:
             if isinstance(attrs, np.ndarray):
@@ -63,16 +79,36 @@ class AttrSet(tuple):
                         f"attribute array must be integral, got dtype {attrs.dtype}"
                     )
             try:
-                items = sorted(int(a) for a in attrs)
+                raw = [int(a) for a in attrs]
             except (TypeError, ValueError) as exc:
                 raise DimensionError(
                     f"attribute set {attrs!r} is not an iterable of integers"
                 ) from exc
+            if arities is None and isinstance(attrs, AttrSet):
+                arities = attrs.arities
+            if arities is not None:
+                arity_list = [int(b) for b in arities]
+                if len(arity_list) != len(raw):
+                    raise DimensionError(
+                        f"{len(arity_list)} arities for {len(raw)} attributes"
+                    )
+                if any(b < 2 for b in arity_list):
+                    raise DimensionError(
+                        f"arities must be >= 2, got {tuple(arity_list)}"
+                    )
+                pairs = sorted(zip(raw, arity_list))
+                items = [a for a, _ in pairs]
+                sorted_arities = tuple(b for _, b in pairs)
+            else:
+                items = sorted(raw)
+                sorted_arities = None
             if any(a == b for a, b in zip(items, items[1:])):
                 raise DimensionError(
                     f"attribute set {attrs!r} contains duplicates"
                 )
             out = super().__new__(cls, items)
+            if sorted_arities is not None:
+                out._arities = sorted_arities
         if num_attributes is not None and out:
             if out[0] < 0 or out[-1] >= num_attributes:
                 bad = out[0] if out[0] < 0 else out[-1]
@@ -89,8 +125,31 @@ class AttrSet(tuple):
 
     @property
     def size(self) -> int:
-        """Number of cells of a table over this set, ``2**arity``."""
+        """Number of cells of a table over this set.
+
+        ``prod(arities)`` when per-attribute arities are attached,
+        the binary ``2**arity`` otherwise.
+        """
+        if self._arities is not None:
+            out = 1
+            for b in self._arities:
+                out *= b
+            return out
         return 1 << len(self)
+
+    @property
+    def arities(self) -> tuple[int, ...] | None:
+        """Per-attribute arities aligned with the sorted attrs, if known."""
+        return self._arities
+
+    @property
+    def is_binary(self) -> bool:
+        """True when no arity metadata says otherwise."""
+        return self._arities is None or all(b == 2 for b in self._arities)
+
+    def with_arities(self, arities) -> "AttrSet":
+        """A copy of this set carrying the given per-attribute arities."""
+        return AttrSet(tuple(self), arities=tuple(arities))
 
     def issubset(self, other) -> bool:
         """True when every attribute also appears in ``other``.
@@ -111,9 +170,14 @@ class AttrSet(tuple):
         return AttrSet(tuple(a for a in self if a in other_set))
 
     def __repr__(self) -> str:
+        if self._arities is not None:
+            spec = ", ".join(
+                f"{a}:{b}" for a, b in zip(self, self._arities)
+            )
+            return f"AttrSet({spec})"
         return f"AttrSet({', '.join(map(str, self))})"
 
 
-def as_attrs(attrs, num_attributes: int | None = None) -> AttrSet:
+def as_attrs(attrs, num_attributes: int | None = None, arities=None) -> AttrSet:
     """Functional alias for :class:`AttrSet` construction."""
-    return AttrSet(attrs, num_attributes)
+    return AttrSet(attrs, num_attributes, arities=arities)

@@ -103,6 +103,14 @@ class MarginalTable:
         """A deep copy (the counts array is copied, meta shallow-copied)."""
         return MarginalTable(self.attrs, self.counts.copy(), dict(self.meta))
 
+    def with_counts(self, counts) -> "MarginalTable":
+        """A same-shape table over the same attrs with new counts.
+
+        The type-generic rebuild hook the noisy-view fan-out uses, so
+        binary and categorical tables flow through the same kernel.
+        """
+        return MarginalTable(self.attrs, counts)
+
     # ------------------------------------------------------------------
     # Projection and consistency
     # ------------------------------------------------------------------

@@ -193,6 +193,26 @@ class QueryClient:
             body["method"] = method
         return self._request(self._query_path("batch", dataset), body)
 
+    def sample(
+        self,
+        n: int = 100,
+        seed: int | None = None,
+        decode: bool = False,
+        dataset: str | None = None,
+    ) -> dict:
+        """Draw ``n`` synthetic records; returns the raw payload.
+
+        ``records`` rows are integer codes in ``attributes`` order, or
+        decoded values with ``decode=True``.  Pure post-processing of
+        the published synopsis — no privacy budget is spent.
+        """
+        body: dict = {"n": int(n)}
+        if seed is not None:
+            body["seed"] = int(seed)
+        if decode:
+            body["decode"] = True
+        return self._request(self._query_path("sample", dataset), body)
+
     def batch_tables(
         self, queries, method: str | None = None, dataset: str | None = None
     ) -> list[MarginalTable]:

@@ -56,6 +56,15 @@ from repro.serve.cache import SingleFlightLRU
 DEFAULT_CACHE_SIZE = 1024
 DEFAULT_WORKERS = 8
 
+#: Per-request ceiling for the record-sampling route; one JSON
+#: response of this many records is already a few MB.
+MAX_SAMPLE_RECORDS = 100_000
+
+#: Default seed for the lazily built synthetic population, so two
+#: servers (or a restart) hosting the same synopsis sample from the
+#: same population.
+DEFAULT_SYNTH_SEED = 20140622
+
 #: Solver failures the engine absorbs by retrying with maxent when the
 #: requested method was ``residual`` (singular systems, NaN noise).
 #: Anything else — validation errors, planner errors — still surfaces.
@@ -92,6 +101,25 @@ class QueryAnswer:
     cached: bool
     elapsed_s: float
     source: tuple[int, ...] | None = None
+
+
+@dataclass(frozen=True)
+class SampleAnswer:
+    """One answered record-sampling request.
+
+    ``records`` is a ``(n, d)`` matrix of integer codes over
+    ``domain``; ``population`` is the size of the synthesised record
+    population the rows were drawn from; ``cold`` marks the request
+    that paid for building it.
+    """
+
+    n: int
+    records: np.ndarray = field(repr=False)
+    domain: object
+    population: int
+    epsilon: float | None
+    elapsed_s: float
+    cold: bool
 
 
 class QueryEngine:
@@ -147,6 +175,14 @@ class QueryEngine:
         self.default_method = default_method
         self.derive_from_cache = derive_from_cache
         self._views: list[MarginalTable] = list(getattr(source, "views", ()) or ())
+        # Mixed-radix (categorical) sources carry non-binary view
+        # tables the binary planner and solvers must not touch: treat
+        # them as viewless, so every cache miss is answered by the
+        # source's own reconstruct()/marginal() (still planned,
+        # cached, coalesced and counted like any solved query).
+        self._mixed = getattr(source, "arities", None) is not None
+        if self._mixed:
+            self._views = []
         self._planner = QueryPlanner(self._views, source.num_attributes)
         self._cache = SingleFlightLRU(cache_size)
         self._pool = ThreadPoolExecutor(
@@ -195,6 +231,12 @@ class QueryEngine:
         # later solve is O(2**k) lookups (see ResidualIndex).
         self._residual_index: ResidualIndex | None = None
         self._residual_lock = threading.Lock()
+        # Lazily-synthesised record population for the /sample route:
+        # the first sample request pays the gradual-update fit, every
+        # later one is a row-indexing draw.
+        self._sampler = None
+        self._sampler_lock = threading.Lock()
+        self._synth_seed = DEFAULT_SYNTH_SEED
         # Counter-name tuples per (path, hit) so each request is one
         # batched incr_each (one lock, one span lookup) instead of four
         # separate incrs.
@@ -434,8 +476,15 @@ class QueryEngine:
                     target, method
                 )
             else:
-                # Viewless source: the mechanism answers directly.
-                table = self.source.marginal(target)
+                # Viewless source: the mechanism answers directly —
+                # through its engine-independent reconstruct() when it
+                # has one (an attached synopsis's marginal() routes
+                # back here, so calling it would recurse).
+                direct = getattr(self.source, "reconstruct", None)
+                if callable(direct):
+                    table = direct(target, method=method)
+                else:
+                    table = self.source.marginal(target)
         self._note_cached_arity(method, len(target))
         return _CacheEntry(table=table, path=plan.path, source=plan.source)
 
@@ -555,6 +604,76 @@ class QueryEngine:
             obs.incr("serve.solve.batched", len(group))
             presolved.update(zip(group, tables))
         return presolved
+
+    # ------------------------------------------------------------------
+    # Record sampling
+    # ------------------------------------------------------------------
+    def sampler(self):
+        """The lazily built :class:`~repro.synth.RecordSampler`.
+
+        The first call synthesises the record population from the
+        hosted synopsis (gradual update, fixed seed — two engines over
+        the same synopsis build the same population); later calls
+        return the cached sampler.  Raises :class:`QueryError` for
+        sources without views.
+        """
+        sampler = self._sampler
+        if sampler is None:
+            with self._sampler_lock:
+                sampler = self._sampler
+                if sampler is None:
+                    if not getattr(self.source, "views", None):
+                        raise QueryError(
+                            "record sampling needs a synopsis with views; "
+                            f"{type(self.source).__name__} has none"
+                        )
+                    from repro.synth import RecordSampler, synthesize
+
+                    with obs.span("serve.synth_population"):
+                        records = synthesize(
+                            self.source, seed=self._synth_seed
+                        )
+                    sampler = RecordSampler(records, seed=self._synth_seed)
+                    obs.set_gauge(
+                        "serve.synth_population", records.num_records
+                    )
+                    self._sampler = sampler
+        return sampler
+
+    def sample(self, n: int, seed: int | None = None) -> SampleAnswer:
+        """Draw ``n`` synthetic records (codes over the source domain).
+
+        Pure post-processing of the published views — no additional
+        privacy budget is spent, however many records are drawn.
+        ``seed`` makes the draw reproducible; without it consecutive
+        calls return fresh batches.
+        """
+        if not isinstance(n, int) or isinstance(n, bool) or n < 1:
+            raise QueryError(f"sample size must be a positive int, got {n!r}")
+        if n > MAX_SAMPLE_RECORDS:
+            raise QueryError(
+                f"sample size {n} exceeds the per-request limit "
+                f"{MAX_SAMPLE_RECORDS}"
+            )
+        start = perf_counter()
+        with obs.span("serve.sample"):
+            cold = self._sampler is None
+            sampler = self.sampler()
+            rows = sampler.sample(n, seed=seed)
+        elapsed = perf_counter() - start
+        obs.incr("serve.sample.request")
+        obs.observe(
+            "serve.sample_seconds", elapsed, (("dataset", self.dataset),)
+        )
+        return SampleAnswer(
+            n=n,
+            records=rows,
+            domain=sampler.domain,
+            population=sampler.population,
+            epsilon=getattr(self.source, "epsilon", None),
+            elapsed_s=elapsed,
+            cold=cold,
+        )
 
     def _count_fallback(self, n: int) -> None:
         with self._stats_lock:

@@ -11,6 +11,10 @@ Requests
     {"queries": [{"attrs": [0, 3]}, {"attrs": [5, 1], "method": "lsq"}],
      "method": "maxent"}                          # batch-level default
 
+``POST /v1/sample``::
+
+    {"n": 500, "seed": 7, "decode": true}         # all fields optional
+
 Responses
 ---------
 An answer payload::
@@ -42,7 +46,7 @@ from repro.serve.engine import QueryAnswer
 
 def encode_answer(answer: QueryAnswer) -> dict:
     """The JSON payload for one :class:`QueryAnswer`."""
-    return {
+    payload = {
         "attrs": list(answer.attrs),
         "k": len(answer.attrs),
         "method": answer.method,
@@ -54,10 +58,29 @@ def encode_answer(answer: QueryAnswer) -> dict:
         "counts": answer.table.counts.tolist(),
         "meta": jsonable(answer.table.meta),
     }
+    arities = getattr(answer.table, "arities", None)
+    if arities is not None:
+        payload["arities"] = [int(b) for b in arities]
+    return payload
 
 
-def decode_table(payload: dict) -> MarginalTable:
-    """Rebuild the :class:`MarginalTable` from an answer payload."""
+def decode_table(payload: dict):
+    """Rebuild the marginal table from an answer payload.
+
+    Payloads carrying ``arities`` (mixed-type synopses) come back as
+    :class:`~repro.categorical.table.CategoricalMarginalTable`; binary
+    payloads as :class:`MarginalTable`.
+    """
+    arities = payload.get("arities")
+    if arities is not None:
+        from repro.categorical.table import CategoricalMarginalTable
+
+        return CategoricalMarginalTable(
+            tuple(payload["attrs"]),
+            tuple(int(b) for b in arities),
+            np.asarray(payload["counts"], dtype=np.float64),
+            dict(payload.get("meta") or {}),
+        )
     return MarginalTable(
         tuple(payload["attrs"]),
         np.asarray(payload["counts"], dtype=np.float64),
@@ -128,3 +151,53 @@ def parse_batch_request(body) -> tuple[list, str | None]:
         attrs, query_method = parse_marginal_request(item)
         queries.append((tuple(attrs), query_method) if query_method else tuple(attrs))
     return queries, method
+
+
+def parse_sample_request(body) -> tuple[int, int | None, bool]:
+    """Validate a ``/v1/sample`` body into ``(n, seed, decode)``.
+
+    ``n`` defaults to 100; the engine enforces the per-request cap.
+    """
+    if not isinstance(body, dict):
+        raise QueryError("request body must be a JSON object")
+    n = body.get("n", 100)
+    if not isinstance(n, int) or isinstance(n, bool):
+        raise QueryError(f"'n' must be an integer, got {n!r}")
+    seed = body.get("seed")
+    if seed is not None and (
+        not isinstance(seed, int) or isinstance(seed, bool)
+    ):
+        raise QueryError(f"'seed' must be an integer, got {seed!r}")
+    decode = body.get("decode", False)
+    if not isinstance(decode, bool):
+        raise QueryError(f"'decode' must be a boolean, got {decode!r}")
+    return n, seed, decode
+
+
+def encode_sample(answer, decode: bool = False) -> dict:
+    """The JSON payload for one :class:`~repro.serve.engine.SampleAnswer`.
+
+    With ``decode=False`` records are rows of integer codes (column
+    order = ``attributes``); with ``decode=True`` they are rows of
+    decoded values (labels / bin midpoints).
+    """
+    domain = answer.domain
+    if decode:
+        columns = domain.decode_records(answer.records)
+        rows = [
+            list(row)
+            for row in zip(*(jsonable(columns[n]) for n in domain.names))
+        ]
+    else:
+        rows = answer.records.tolist()
+    return {
+        "n": answer.n,
+        "attributes": list(domain.names),
+        "arities": [int(b) for b in domain.arities],
+        "decoded": decode,
+        "records": rows,
+        "population": answer.population,
+        "epsilon": answer.epsilon,
+        "cold": answer.cold,
+        "elapsed_ms": answer.elapsed_s * 1e3,
+    }

@@ -5,15 +5,18 @@ Single-source endpoints (JSON protocol in :mod:`repro.serve.protocol`):
 
 * ``POST /v1/marginal`` — answer one marginal query;
 * ``POST /v1/batch``    — answer a de-duplicated workload;
+* ``POST /v1/sample``   — draw synthetic records (post-processing of
+  the published views: zero additional privacy budget);
 * ``GET  /healthz``     — liveness + synopsis identity;
 * ``GET  /stats``       — planner-path / cache statistics.
 
 Store-backed (multi-dataset) endpoints, when constructed with
 ``store=`` / ``router=`` (see ``docs/STORE.md``):
 
-* ``POST /v1/d/{name}/marginal`` and ``POST /v1/d/{name}/batch`` —
-  the same protocol, routed to the named dataset's engine (built
-  lazily, LRU-evicted, 404 for unknown names);
+* ``POST /v1/d/{name}/marginal``, ``POST /v1/d/{name}/batch`` and
+  ``POST /v1/d/{name}/sample`` — the same protocol, routed to the
+  named dataset's engine (built lazily, LRU-evicted, 404 for
+  unknown names);
 * ``GET  /v1/datasets`` — every published dataset and what's serving;
 * ``POST /v1/reload``   — re-resolve against the store and hot-swap
   newly published versions with zero dropped in-flight requests;
@@ -64,8 +67,10 @@ from repro.serve.engine import QueryEngine
 from repro.serve.protocol import (
     encode_answer,
     encode_error,
+    encode_sample,
     parse_batch_request,
     parse_marginal_request,
+    parse_sample_request,
 )
 
 DEFAULT_HOST = "127.0.0.1"
@@ -250,7 +255,7 @@ class _Handler(BaseHTTPRequestHandler):
                 return None
             return unquote(name), "windows/marginal"
         if not name or action not in (
-            "marginal", "batch", "stats", "windows"
+            "marginal", "batch", "sample", "stats", "windows"
         ):
             return None
         return unquote(name), action
@@ -268,12 +273,13 @@ class _Handler(BaseHTTPRequestHandler):
         if routed is not None:
             self._dispatch_dataset(*routed)
             return
-        if self.path in ("/v1/marginal", "/v1/batch"):
+        if self.path in ("/v1/marginal", "/v1/batch", "/v1/sample"):
             if self.engine is None:
                 raise QueryError(
                     "this server hosts a synopsis store; query "
-                    "per-dataset paths /v1/d/{name}/marginal or "
-                    "/v1/d/{name}/batch (GET /v1/datasets lists them)"
+                    "per-dataset paths /v1/d/{name}/marginal, "
+                    "/v1/d/{name}/batch or /v1/d/{name}/sample "
+                    "(GET /v1/datasets lists them)"
                 )
             self._dispatch(self.engine, self.path.rsplit("/", 1)[1])
             return
@@ -327,6 +333,10 @@ class _Handler(BaseHTTPRequestHandler):
             attrs, method = parse_marginal_request(body)
             answer = engine.answer(attrs, method=method, timeout=timeout)
             self._send_json(200, encode_answer(answer))
+        elif action == "sample":
+            n, seed, decode = parse_sample_request(body)
+            answer = engine.sample(n, seed=seed)
+            self._send_json(200, encode_sample(answer, decode=decode))
         else:
             queries, method = parse_batch_request(body)
             answers = engine.answer_batch(queries, method=method, timeout=timeout)

@@ -53,6 +53,10 @@ class VersionInfo:
     total_count: float | None = None
     created_at: str | None = None
     fit_seconds: float | None = None
+    #: serialized Domain schema (``Domain.to_json()``) when the
+    #: synopsis carries one — lets ``store ls``/clients see the
+    #: record-level schema without opening the artifact
+    domain: dict | None = None
     extra: dict = field(default_factory=dict)
 
     @property
@@ -72,6 +76,7 @@ class VersionInfo:
             "total_count": self.total_count,
             "created_at": self.created_at,
             "fit_seconds": self.fit_seconds,
+            "domain": self.domain,
             "extra": self.extra,
         }
 
@@ -90,6 +95,7 @@ class VersionInfo:
                 total_count=blob.get("total_count"),
                 created_at=blob.get("created_at"),
                 fit_seconds=blob.get("fit_seconds"),
+                domain=blob.get("domain"),
                 extra=dict(blob.get("extra") or {}),
             )
         except (KeyError, TypeError, ValueError) as exc:

@@ -256,6 +256,12 @@ class SynopsisStore:
                     ),
                     created_at=created_at or _utc_now(),
                     fit_seconds=fit_seconds,
+                    domain=(
+                        domain.to_json()
+                        if (domain := getattr(synopsis, "domain", None))
+                        is not None
+                        else None
+                    ),
                     extra=dict(extra or {}),
                 )
                 entry.versions.append(info)

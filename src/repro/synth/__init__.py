@@ -1,0 +1,30 @@
+"""``repro.synth`` — record-level synthetic data from synopses.
+
+A published PriView synopsis answers marginal queries; this package
+turns the same artifact into an explicit synthetic dataset (PrivSyn's
+gradual-update method), which record-level tooling can filter, join
+and export.  Synthesis reads only the released views, so it is pure
+post-processing: **zero** additional privacy budget, provable from
+the ledger (the fit runs in a strict budget scope configured at 0).
+
+    from repro.synth import synthesize
+
+    records = synthesize(synopsis, seed=7)     # deterministic
+    records.marginal(("age", "income"))        # exact over the records
+    records.count(age=3, income=1)             # record-level filter
+    records.to_csv("synthetic.csv")            # decoded export
+
+See ``docs/SYNTHESIS.md`` for the algorithm and accuracy story.
+"""
+
+from repro.synth.records import SyntheticRecords
+from repro.synth.sampler import RecordSampler
+from repro.synth.synthesizer import Synthesizer, domain_of, synthesize
+
+__all__ = [
+    "RecordSampler",
+    "Synthesizer",
+    "SyntheticRecords",
+    "domain_of",
+    "synthesize",
+]

@@ -1,0 +1,48 @@
+"""Deprecated module shims forward to the shared core."""
+
+import warnings
+
+import pytest
+
+
+class TestReconstructionShim:
+    def test_warns_and_forwards(self):
+        import repro.categorical.reconstruction as shim
+        from repro.core.reconstruction.categorical import (
+            categorical_maxent,
+            extract_categorical_constraints,
+        )
+
+        with pytest.warns(DeprecationWarning):
+            assert shim.categorical_maxent is categorical_maxent
+        with pytest.warns(DeprecationWarning):
+            assert (
+                shim.extract_categorical_constraints
+                is extract_categorical_constraints
+            )
+
+    def test_unknown_attribute_raises(self):
+        import repro.categorical.reconstruction as shim
+
+        with pytest.raises(AttributeError):
+            shim.does_not_exist
+
+    def test_dir_lists_moved_names(self):
+        import repro.categorical.reconstruction as shim
+
+        assert "categorical_maxent" in dir(shim)
+
+
+class TestNonnegativityShim:
+    def test_warns_and_forwards(self):
+        import repro.categorical.nonnegativity as shim
+        from repro.core.nonnegativity import categorical_ripple
+
+        with pytest.warns(DeprecationWarning):
+            assert shim.categorical_ripple is categorical_ripple
+
+    def test_core_import_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            from repro.core.nonnegativity import categorical_ripple  # noqa: F401
+            from repro.core.reconstruction import reconstruct_mixed  # noqa: F401

@@ -142,11 +142,25 @@ class TestIntegrity:
         """The satellite acceptance: flip one byte and loading must
         raise SynopsisIntegrityError — whether the flip lands in the
         compressed header json, the compressed arrays, or the zip
-        end-of-central-directory record."""
-        reference = save_synopsis(synopsis, tmp_path / "ref.npz").read_bytes()
-        for offset in (
-            len(reference) // 3, len(reference) // 2, len(reference) - 3,
-        ):
+        end-of-central-directory record.  Offsets are derived from the
+        zip layout so they land in member *data* (bytes the loader
+        actually consumes) regardless of header size."""
+        import struct
+        import zipfile
+
+        ref_path = save_synopsis(synopsis, tmp_path / "ref.npz")
+        reference = ref_path.read_bytes()
+        offsets = []
+        with zipfile.ZipFile(ref_path) as archive:
+            for info in archive.infolist()[:2]:  # header.npy, view_0.npy
+                base = info.header_offset
+                fname_len, extra_len = struct.unpack_from(
+                    "<HH", reference, base + 26
+                )
+                data_start = base + 30 + fname_len + extra_len
+                offsets.append(data_start + info.compress_size // 2)
+        offsets.append(len(reference) - 3)
+        for offset in offsets:
             path = tmp_path / f"flip{offset}.npz"
             blob = bytearray(reference)
             blob[offset] ^= 0xFF

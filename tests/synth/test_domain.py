@@ -1,0 +1,103 @@
+"""Domain / Attribute behaviour the synth stack depends on."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionError
+from repro.marginals.domain import (
+    ATTRIBUTE_KINDS,
+    Attribute,
+    Domain,
+    as_domain,
+)
+
+
+@pytest.fixture
+def mixed_domain() -> Domain:
+    return Domain((
+        Attribute("age", 4, kind="numeric", bins=(0.0, 20, 40, 60, 80)),
+        Attribute("job", 3, labels=("none", "blue", "white")),
+        Attribute("flag", 2),
+        Attribute("kids", 5, kind="ordinal"),
+    ))
+
+
+class TestAttribute:
+    def test_kinds_constant(self):
+        assert set(ATTRIBUTE_KINDS) == {"categorical", "ordinal", "numeric"}
+
+    def test_numeric_encode_bins_and_clamps(self):
+        attr = Attribute("x", 3, kind="numeric", bins=(0.0, 1.0, 2.0, 3.0))
+        codes = attr.encode([-5.0, 0.5, 1.5, 2.5, 99.0])
+        assert codes.tolist() == [0, 0, 1, 2, 2]
+
+    def test_label_encode_round_trip(self):
+        attr = Attribute("job", 3, labels=("none", "blue", "white"))
+        codes = attr.encode(["white", "none", "blue"])
+        assert codes.tolist() == [2, 0, 1]
+        assert attr.decode(codes).tolist() == ["white", "none", "blue"]
+
+    def test_integer_codes_pass_through(self):
+        attr = Attribute("k", 4, kind="ordinal")
+        assert attr.encode([3, 0, 2]).tolist() == [3, 0, 2]
+
+    def test_arity_floor(self):
+        with pytest.raises(DimensionError):
+            Attribute("x", 1)
+
+    def test_json_round_trip(self):
+        attr = Attribute("age", 4, kind="numeric", bins=(0.0, 20, 40, 60, 80))
+        again = Attribute.from_json(attr.to_json())
+        assert again == attr
+
+
+class TestDomain:
+    def test_arities_and_names(self, mixed_domain):
+        assert mixed_domain.arities == (4, 3, 2, 5)
+        assert mixed_domain.names == ("age", "job", "flag", "kids")
+        assert mixed_domain.num_attributes == 4
+        assert not mixed_domain.is_binary
+
+    def test_binary_factory(self):
+        dom = Domain.binary(6)
+        assert dom.is_binary
+        assert dom.arities == (2,) * 6
+
+    def test_from_arities(self):
+        dom = Domain.from_arities((2, 3, 4))
+        assert dom.arities == (2, 3, 4)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(DimensionError):
+            Domain((Attribute("a", 2), Attribute("a", 3)))
+
+    def test_attr_set_by_name_and_index(self, mixed_domain):
+        assert tuple(mixed_domain.attr_set(("kids", "age"))) == (0, 3)
+        assert tuple(mixed_domain.attr_set((3, 0))) == (0, 3)
+
+    def test_size(self, mixed_domain):
+        assert mixed_domain.size() == 4 * 3 * 2 * 5
+        assert mixed_domain.size(("age", "flag")) == 8
+
+    def test_encode_decode_records_round_trip(self, mixed_domain):
+        rng = np.random.default_rng(0)
+        codes = np.stack(
+            [rng.integers(0, b, 100) for b in mixed_domain.arities], axis=1
+        )
+        decoded = mixed_domain.decode_records(codes)
+        assert set(decoded) == set(mixed_domain.names)
+        again = mixed_domain.encode_records(decoded)
+        np.testing.assert_array_equal(again, codes)
+
+    def test_json_round_trip(self, mixed_domain):
+        again = Domain.from_json(mixed_domain.to_json())
+        assert again == mixed_domain
+        assert again.arities == mixed_domain.arities
+
+    def test_as_domain_coercions(self, mixed_domain):
+        assert as_domain(mixed_domain) is mixed_domain
+        assert as_domain(None, num_attributes=3) == Domain.binary(3)
+        assert as_domain((2, 3)).arities == (2, 3)
+        assert as_domain(mixed_domain.to_json()) == mixed_domain
+        with pytest.raises(DimensionError):
+            as_domain(None)
